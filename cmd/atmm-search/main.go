@@ -1,0 +1,64 @@
+// Command atmm-search runs ATMM's offline profile-based tiling search
+// (Algorithm 2) for a model/GPU pair and dumps the resulting
+// shape→configuration hash table with profiled latencies.
+//
+// Usage:
+//
+//	atmm-search [-dim 4096] [-max-tokens 2048] [-ranks 16,32,64,128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"valora/internal/simgpu"
+	"valora/internal/tiling"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atmm-search: ")
+	var (
+		dim       = flag.Int("dim", 4096, "model hidden dimension (K of shrink GEMMs)")
+		maxTokens = flag.Int("max-tokens", 2048, "maximum token batch (M dimension)")
+		ranksCSV  = flag.String("ranks", "16,32,64,128", "comma-separated LoRA ranks")
+		gpuName   = flag.String("gpu", "a100", "gpu model: a100 or a10")
+	)
+	flag.Parse()
+
+	var g *simgpu.GPU
+	switch strings.ToLower(*gpuName) {
+	case "a100":
+		g = simgpu.A100()
+	case "a10":
+		g = simgpu.A10()
+	default:
+		log.Fatalf("unknown gpu %q (a100 or a10)", *gpuName)
+	}
+
+	var ranks []int
+	for _, part := range strings.Split(*ranksCSV, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			log.Fatalf("bad rank %q: %v", part, err)
+		}
+		ranks = append(ranks, r)
+	}
+
+	spec := tiling.SearchSpec{
+		HiddenDims: []int{*dim},
+		Ranks:      ranks,
+		MaxTokens:  *maxTokens,
+		Classes:    []simgpu.CoreClass{simgpu.TensorCore},
+	}
+	table, stats, err := tiling.Search(g, spec)
+	if err != nil {
+		log.Fatalf("search failed: %v", err)
+	}
+	fmt.Printf("# %s, dim %d, max tokens %d, ranks %v\n", g.Name, *dim, *maxTokens, ranks)
+	fmt.Printf("# %s\n", stats)
+	fmt.Print(table.String())
+}

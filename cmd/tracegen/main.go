@@ -1,0 +1,49 @@
+// Command tracegen synthesizes workload traces (visual retrieval or
+// video analytics) and writes them as CSV for inspection or replay by
+// external tools.
+//
+// Usage:
+//
+//	tracegen -app retrieval -rate 6 -seconds 60 -adapters 16 -skew 0.6 > trace.csv
+//	tracegen -app video -streams 4 -seconds 60 > trace.csv
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"valora/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		app      = flag.String("app", "retrieval", "workload: retrieval or video")
+		rate     = flag.Float64("rate", 6, "retrieval arrival rate (req/s)")
+		streams  = flag.Int("streams", 4, "video streams")
+		seconds  = flag.Int("seconds", 60, "trace duration")
+		adapters = flag.Int("adapters", 16, "number of LoRA adapters")
+		skew     = flag.Float64("skew", 0.6, "fraction of requests on the hottest adapter")
+		seed     = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	dur := time.Duration(*seconds) * time.Second
+	var trace workload.Trace
+	switch *app {
+	case "retrieval":
+		trace = workload.GenRetrieval(workload.DefaultRetrieval(*rate, dur, *adapters, *skew, *seed))
+	case "video":
+		trace = workload.GenVideo(workload.DefaultVideo(*streams, dur, *adapters, *skew, *seed))
+	default:
+		log.Fatalf("unknown app %q (retrieval or video)", *app)
+	}
+
+	if err := workload.WriteCSV(os.Stdout, trace); err != nil {
+		log.Fatalf("writing trace: %v", err)
+	}
+	log.Printf("wrote %d requests spanning %v", len(trace), trace.Duration().Round(time.Millisecond))
+}

@@ -1,0 +1,65 @@
+// Command valora-server exposes the simulated VaLoRA runtime over
+// HTTP: single-request latency estimation and workload replay.
+//
+// Usage:
+//
+//	valora-server [-addr :8080] [-system VaLoRA] [-model qwen]
+//
+// Endpoints:
+//
+//	GET  /v1/model     — model and system info
+//	POST /v1/requests  — {"adapter_id":1,"input_tokens":400,"output_tokens":120,"images":1}
+//	POST /v1/replay    — {"app":"retrieval","rate":6,"seconds":30,"adapters":16,"skew":0.6}
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+
+	"valora/internal/lmm"
+	"valora/internal/serving"
+	"valora/internal/simgpu"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("valora-server: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		system    = flag.String("system", "VaLoRA", "serving system: VaLoRA, S-LoRA, Punica, dLoRA")
+		modelName = flag.String("model", "qwen", "model: qwen, llava7b, llava13b")
+	)
+	flag.Parse()
+
+	var model lmm.Config
+	switch strings.ToLower(*modelName) {
+	case "qwen":
+		model = lmm.QwenVL7B()
+	case "llava7b":
+		model = lmm.LLaVA7B()
+	case "llava13b":
+		model = lmm.LLaVA13B()
+	default:
+		log.Fatalf("unknown model %q", *modelName)
+	}
+
+	kind := serving.SystemKind(*system)
+	found := false
+	for _, k := range serving.AllSystems() {
+		if k == kind {
+			found = true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown system %q", *system)
+	}
+
+	frontend := serving.NewFrontend(kind, simgpu.A100(), model)
+	log.Printf("serving %s on %s at %s", model.Name, kind, *addr)
+	if err := http.ListenAndServe(*addr, frontend); err != nil {
+		log.Fatal(err)
+	}
+}

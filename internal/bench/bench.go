@@ -1,0 +1,152 @@
+// Package bench contains one experiment driver per table and figure of
+// the VaLoRA paper's evaluation (plus the motivation-section
+// measurements and the ablations DESIGN.md calls out). Every driver
+// returns a Table that renders to markdown/CSV; cmd/valora-bench runs
+// them all and EXPERIMENTS.md records paper-vs-measured.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"valora/internal/simgpu"
+)
+
+// Table is one experiment's result grid.
+type Table struct {
+	ID    string // e.g. "fig14"
+	Title string
+	// Paper is the claim from the paper this table is compared
+	// against.
+	Paper   string
+	Columns []string
+	Rows    [][]string
+	// Notes records observations about the measured-vs-paper match.
+	Notes string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", strings.ToUpper(t.ID), t.Title)
+	if t.Paper != "" {
+		fmt.Fprintf(&b, "*Paper:* %s\n\n", t.Paper)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Columns, " | "))
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "\n*Measured:* %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes are not
+// needed for the numeric/short cells the drivers emit).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", strings.Join(t.Columns, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%s\n", strings.Join(row, ","))
+	}
+	return b.String()
+}
+
+// Suite carries shared experiment configuration.
+type Suite struct {
+	GPU *simgpu.GPU
+	// Quick shrinks traces and sweeps for use from unit tests; the
+	// full-size runs back EXPERIMENTS.md.
+	Quick bool
+	Seed  int64
+}
+
+// NewSuite builds a suite on an A100 with the default seed.
+func NewSuite(quick bool) *Suite {
+	return &Suite{GPU: simgpu.A100(), Quick: quick, Seed: 42}
+}
+
+// traceDuration picks the per-run trace length.
+func (s *Suite) traceDuration() time.Duration {
+	if s.Quick {
+		return 20 * time.Second
+	}
+	return 60 * time.Second
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Microsecond))
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+func f2(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// Experiment couples an ID with its driver for RunAll.
+type Experiment struct {
+	ID  string
+	Run func() (*Table, error)
+}
+
+// All lists every experiment in presentation order.
+func (s *Suite) All() []Experiment {
+	return []Experiment{
+		{"fig03", s.Fig03ZeroShot},
+		{"fig04", s.Fig04LoRAGain},
+		{"fig05", s.Fig05FusionCapacity},
+		{"fig10", s.Fig10FusionWalkthrough},
+		{"swap", s.SwapLatency},
+		{"fig06", s.Fig06UnmergedOverhead},
+		{"fig07", s.Fig07SwitchCost},
+		{"table1", s.Table1AdaptiveTiling},
+		{"fig12", s.Fig12TileAnalysis},
+		{"search", s.TilingSearchStats},
+		{"fig14", s.Fig14EndToEnd},
+		{"fig15", s.Fig15Accuracy},
+		{"fig16", s.Fig16TaskHead},
+		{"fig17", s.Fig17OperatorLatency},
+		{"fig18", s.Fig18OperatorStability},
+		{"fig19", s.Fig19Scheduler},
+		{"fig20", s.Fig20MixtureMode},
+		{"fig21", s.Fig21SwiftSwitch},
+		{"fig22", s.Fig22SkewE2E},
+		{"fig23", s.Fig23AdapterCount},
+		{"table3", s.Table3MultiGPU},
+		{"fig24", s.Fig24PrefixCache},
+		{"switcher", s.SwitcherMicro},
+		{"ablation-tiling", s.AblationStaticTiling},
+		{"ablation-mixture", s.AblationNoMixture},
+		{"ablation-switch", s.AblationSlowSwitch},
+		{"ablation-memory", s.AblationMemory},
+	}
+}
+
+// RunAll executes every experiment, returning tables in order. The
+// first error aborts the run.
+func (s *Suite) RunAll() ([]*Table, error) {
+	var out []*Table
+	for _, e := range s.All() {
+		t, err := e.Run()
+		if err != nil {
+			return out, fmt.Errorf("bench %s: %w", e.ID, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:      "x1",
+		Title:   "demo",
+		Paper:   "claim",
+		Columns: []string{"a", "b"},
+		Notes:   "note",
+	}
+	tab.AddRow("1", "2")
+	md := tab.Markdown()
+	for _, want := range []string{"X1", "demo", "claim", "| a | b |", "| 1 | 2 |", "note"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,b\n1,2\n") {
+		t.Errorf("csv wrong:\n%s", csv)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if ms(1500*time.Microsecond) != "1.50" {
+		t.Errorf("ms formatting wrong: %s", ms(1500*time.Microsecond))
+	}
+	if us(2*time.Microsecond+500*time.Nanosecond) != "2.5" {
+		t.Errorf("us formatting wrong")
+	}
+	if pct(0.125) != "12.5%" {
+		t.Errorf("pct formatting wrong: %s", pct(0.125))
+	}
+	if f2(1.234) != "1.23" {
+		t.Errorf("f2 formatting wrong")
+	}
+}
+
+func TestSuiteListsUniqueExperiments(t *testing.T) {
+	s := NewSuite(true)
+	seen := map[string]bool{}
+	for _, e := range s.All() {
+		if e.ID == "" || e.Run == nil {
+			t.Fatalf("experiment with empty id or nil runner")
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if len(seen) < 20 {
+		t.Fatalf("only %d experiments registered; the paper has more tables/figures", len(seen))
+	}
+}
+
+// TestTable1Experiment checks the adaptive row beats or ties every
+// static configuration on both shapes.
+func TestTable1Experiment(t *testing.T) {
+	s := NewSuite(true)
+	tab, err := s.Table1AdaptiveTiling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("table1 rows = %d, want 4", len(tab.Rows))
+	}
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatalf("non-numeric cell %q", cell)
+		}
+		return v
+	}
+	adaptive := tab.Rows[3]
+	for col := 1; col <= 2; col++ {
+		best := parse(adaptive[col])
+		for _, row := range tab.Rows[:3] {
+			if parse(row[col]) < best {
+				t.Errorf("static config %s beat the adaptive choice on column %d", row[0], col)
+			}
+		}
+	}
+}
+
+func TestFig20Crossover(t *testing.T) {
+	s := NewSuite(true)
+	tab, err := s.Fig20MixtureMode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Savings must be positive below 50% starved and non-positive at or
+	// above it.
+	for _, row := range tab.Rows {
+		frac := row[0]
+		saving := row[3]
+		positive := !strings.HasPrefix(saving, "-") && saving != "0.0%"
+		switch frac {
+		case "12.5%", "25.0%", "37.5%":
+			if !positive {
+				t.Errorf("saving at %s should be positive, got %s", frac, saving)
+			}
+		case "75.0%":
+			if positive {
+				t.Errorf("saving at %s should be negative, got %s", frac, saving)
+			}
+		}
+	}
+}
+
+func TestSwitcherExperiment(t *testing.T) {
+	s := NewSuite(true)
+	tab, err := s.SwitcherMicro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		swift, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if swift >= 10 {
+			t.Errorf("%s swift merge %.2f ms, want <10 ms", row[0], swift)
+		}
+		if slow < 5*swift {
+			t.Errorf("%s speedup below the paper's >5x", row[0])
+		}
+	}
+}
+
+func TestSwapExperiment(t *testing.T) {
+	s := NewSuite(true)
+	tab, err := s.SwapLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("swap rows = %d, want 4", len(tab.Rows))
+	}
+	adapter, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	oscar, _ := strconv.ParseFloat(tab.Rows[2][2], 64)
+	if adapter >= oscar/10 {
+		t.Errorf("adapter swap %.1f ms should be >10x cheaper than OSCAR %.1f ms", adapter, oscar)
+	}
+}
+
+func TestFig07Experiment(t *testing.T) {
+	s := NewSuite(true)
+	tab, err := s.Fig07SwitchCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	swift, _ := strconv.ParseFloat(tab.Rows[1][1], 64)
+	if swift >= 10 || slow <= 30 {
+		t.Errorf("switch costs out of band: swift %.1f (want <10), dLoRA %.1f (want ~50)", swift, slow)
+	}
+}
+
+func TestFig17QuickShape(t *testing.T) {
+	s := NewSuite(true)
+	tab, err := s.Fig17OperatorLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ATMM column (1) must be the row minimum everywhere.
+	for _, row := range tab.Rows {
+		atmm, _ := strconv.ParseFloat(row[1], 64)
+		for col := 2; col <= 4; col++ {
+			v, _ := strconv.ParseFloat(row[col], 64)
+			if v < atmm {
+				t.Errorf("tokens=%s: column %d (%.1f) beat ATMM (%.1f)", row[0], col, v, atmm)
+			}
+		}
+	}
+}

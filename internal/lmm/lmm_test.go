@@ -1,0 +1,260 @@
+package lmm
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"valora/internal/simgpu"
+)
+
+func TestTable2Configs(t *testing.T) {
+	qwen := QwenVL7B()
+	if qwen.Layers != 32 || qwen.Dim != 4096 || qwen.WeightBytes != 18<<30 {
+		t.Fatalf("Qwen-VL-7B config drifted from Table 2: %+v", qwen)
+	}
+	l13 := LLaVA13B()
+	if l13.Layers != 40 || l13.Dim != 5120 || l13.WeightBytes != 24<<30 {
+		t.Fatalf("LLaVA-13B config drifted from Table 2: %+v", l13)
+	}
+	if len(AllModels()) != 3 {
+		t.Fatal("expected three evaluation models")
+	}
+	if qwen.String() == "" {
+		t.Fatal("config string empty")
+	}
+}
+
+func TestModelByteAccounting(t *testing.T) {
+	m := QwenVL7B()
+	// KV per token: 2 (K,V) × layers × dim × fp16.
+	if got, want := m.KVBytesPerToken(), int64(2*32*4096*2); got != want {
+		t.Fatalf("KV bytes per token = %d, want %d", got, want)
+	}
+	// Adapter ≪ ΔW ≪ weights (the §4.4.1 hierarchy).
+	a := m.AdapterBytes(m.DefaultRank)
+	dw := m.DeltaWBytes()
+	if !(a < dw && dw < m.WeightBytes) {
+		t.Fatalf("byte hierarchy broken: adapter %d, ΔW %d, weights %d", a, dw, m.WeightBytes)
+	}
+	// Adapter scales linearly with rank.
+	if m.AdapterBytes(128) != 2*m.AdapterBytes(64) {
+		t.Fatal("adapter bytes must scale linearly with rank")
+	}
+}
+
+func TestEngineDecodeIsWeightBound(t *testing.T) {
+	g := simgpu.A100()
+	e := NewEngine(g, QwenVL7B())
+	d := e.DecodeStepTime(8, 8*512)
+	// Weight streaming alone: 2 bytes/param over HBM.
+	weights := time.Duration(float64(e.Model.LLMParams) * 2 / g.HBMBandwidth * 1e9)
+	if d < weights {
+		t.Fatalf("decode step %v cannot beat the weight-streaming bound %v", d, weights)
+	}
+	if d > 5*weights {
+		t.Fatalf("decode step %v implausibly far above the bound %v", d, weights)
+	}
+	// Batching decodes is nearly free: 32 sequences ≪ 32× one sequence.
+	d32 := e.DecodeStepTime(32, 32*512)
+	d1 := e.DecodeStepTime(1, 512)
+	if float64(d32) > 1.6*float64(d1) {
+		t.Fatalf("batched decode (%v) should cost close to single decode (%v)", d32, d1)
+	}
+}
+
+func TestEnginePrefillComputeBound(t *testing.T) {
+	e := NewEngine(simgpu.A100(), QwenVL7B())
+	// The paper's §6.2 asymmetry: input tokens < 1 ms each, output
+	// tokens tens of ms each.
+	perInput := e.PrefillTime(4096, 0) / 4096
+	if perInput > time.Millisecond {
+		t.Fatalf("per-input-token cost %v, want <1 ms", perInput)
+	}
+	perOutput := e.DecodeStepTime(1, 512)
+	if perOutput < 5*time.Millisecond {
+		t.Fatalf("per-output-token cost %v, want >=5 ms", perOutput)
+	}
+}
+
+func TestEngineMonotonicInTokens(t *testing.T) {
+	e := NewEngine(simgpu.A100(), QwenVL7B())
+	var prev time.Duration
+	for _, n := range []int{128, 512, 2048, 8192} {
+		d := e.PrefillTime(n, 1)
+		if d < prev {
+			t.Fatalf("prefill time decreased at %d tokens", n)
+		}
+		prev = d
+	}
+}
+
+func TestEngineVisualEncoderCost(t *testing.T) {
+	e := NewEngine(simgpu.A100(), QwenVL7B())
+	with := e.PrefillTime(512, 2)
+	without := e.PrefillTime(512, 0)
+	if with <= without {
+		t.Fatal("image encoding must add time")
+	}
+	if e.IterationTime(IterationLoad{}) != 0 {
+		t.Fatal("empty iteration should cost nothing")
+	}
+}
+
+func TestEngine13BSlower(t *testing.T) {
+	g := simgpu.A100()
+	small := NewEngine(g, QwenVL7B())
+	big := NewEngine(g, LLaVA13B())
+	if big.DecodeStepTime(4, 1024) <= small.DecodeStepTime(4, 1024) {
+		t.Fatal("13B decode must be slower than 7B")
+	}
+}
+
+func TestKVCacheLifecycle(t *testing.T) {
+	m := QwenVL7B()
+	kv := NewKVCache(m, 64*m.KVBytesPerToken()*BlockSize) // 64 blocks
+	if kv.TotalBlocks() != 64 {
+		t.Fatalf("total blocks = %d, want 64", kv.TotalBlocks())
+	}
+	if err := kv.Allocate(1, 100, 0); err != nil { // 7 blocks
+		t.Fatal(err)
+	}
+	if kv.Tokens(1) != 100 {
+		t.Fatalf("tokens = %d, want 100", kv.Tokens(1))
+	}
+	if kv.FreeBlocks() != 64-7 {
+		t.Fatalf("free = %d, want 57", kv.FreeBlocks())
+	}
+	// Extending within the last partial block takes no new block.
+	for i := 0; i < 12; i++ {
+		if err := kv.Extend(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if kv.FreeBlocks() != 57 {
+		t.Fatalf("extend within block should not allocate, free=%d", kv.FreeBlocks())
+	}
+	if err := kv.Extend(1); err != nil { // token 113 crosses into block 8
+		t.Fatal(err)
+	}
+	if kv.FreeBlocks() != 56 {
+		t.Fatalf("extend across block should allocate, free=%d", kv.FreeBlocks())
+	}
+	kv.Release(1)
+	if kv.FreeBlocks() != 64 || kv.Usage() != 0 {
+		t.Fatal("release must return every block")
+	}
+}
+
+func TestKVCacheErrors(t *testing.T) {
+	m := QwenVL7B()
+	kv := NewKVCache(m, 4*m.KVBytesPerToken()*BlockSize) // 4 blocks
+	if err := kv.Allocate(1, 100, 0); err == nil {
+		t.Fatal("over-capacity allocation should fail")
+	}
+	if err := kv.Allocate(1, 32, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Allocate(1, 16, 0); err == nil {
+		t.Fatal("double allocation should fail")
+	}
+	if err := kv.Extend(99); err == nil {
+		t.Fatal("extending an unknown sequence should fail")
+	}
+	// Fill the cache, then extension must fail cleanly.
+	if err := kv.Allocate(2, 32, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Extend(2); err == nil {
+		t.Fatal("extension past capacity should fail")
+	}
+}
+
+func TestKVCacheSharedTokens(t *testing.T) {
+	m := QwenVL7B()
+	kv := NewKVCache(m, 64*m.KVBytesPerToken()*BlockSize)
+	// 256 shared tokens (prefix cache) occupy no owned blocks.
+	if err := kv.Allocate(1, 300, 256); err != nil {
+		t.Fatal(err)
+	}
+	owned := (300 - 256 + BlockSize - 1) / BlockSize
+	if kv.FreeBlocks() != 64-owned {
+		t.Fatalf("shared tokens should not consume blocks: free=%d", kv.FreeBlocks())
+	}
+}
+
+func TestKVCacheInvariant(t *testing.T) {
+	m := QwenVL7B()
+	f := func(sizes []uint8) bool {
+		kv := NewKVCache(m, 128*m.KVBytesPerToken()*BlockSize)
+		id := int64(0)
+		var live []int64
+		for _, s := range sizes {
+			id++
+			if kv.Allocate(id, int(s)+1, 0) == nil {
+				live = append(live, id)
+			}
+			if len(live) > 4 {
+				kv.Release(live[0])
+				live = live[1:]
+			}
+			if kv.FreeBlocks() < 0 || kv.FreeBlocks() > kv.TotalBlocks() {
+				return false
+			}
+		}
+		for _, l := range live {
+			kv.Release(l)
+		}
+		return kv.FreeBlocks() == kv.TotalBlocks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixCacheHitMissLRU(t *testing.T) {
+	p := NewPrefixCache(2)
+	if got := p.Lookup("a", 256); got != 0 {
+		t.Fatal("first lookup must miss")
+	}
+	if got := p.Lookup("a", 256); got != 256 {
+		t.Fatalf("second lookup should hit with 256 tokens, got %d", got)
+	}
+	p.Lookup("b", 256)
+	p.Lookup("c", 256) // evicts "a" (LRU)
+	if got := p.Lookup("a", 256); got != 0 {
+		t.Fatal("evicted image should miss")
+	}
+	hits, misses := p.Stats()
+	if hits != 1 || misses != 4 {
+		t.Fatalf("stats = %d/%d, want 1/4", hits, misses)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len = %d, want 2", p.Len())
+	}
+}
+
+func TestPrefixCacheTouchRefreshesLRU(t *testing.T) {
+	p := NewPrefixCache(2)
+	p.Lookup("a", 1)
+	p.Lookup("b", 1)
+	p.Lookup("a", 1) // refresh a
+	p.Lookup("c", 1) // should evict b, not a
+	if p.Lookup("a", 1) != 1 {
+		t.Fatal("refreshed entry was evicted")
+	}
+}
+
+func TestPrefixCacheDisabled(t *testing.T) {
+	p := NewPrefixCache(0)
+	p.Lookup("a", 256)
+	if got := p.Lookup("a", 256); got != 0 {
+		t.Fatal("disabled cache must always miss")
+	}
+	if p.HitRate() != 0 {
+		t.Fatal("disabled cache hit rate must be 0")
+	}
+	if NewPrefixCache(4).Lookup("", 256) != 0 {
+		t.Fatal("empty image id must miss")
+	}
+}

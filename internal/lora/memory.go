@@ -1,0 +1,127 @@
+package lora
+
+import (
+	"time"
+
+	"valora/internal/simgpu"
+)
+
+// Pool is the unified GPU memory manager of §5: a fixed byte budget
+// shared by LoRA adapters (the KV cache takes the rest of device
+// memory), with LRU eviction and optionally asynchronous swapping.
+//
+// VaLoRA stores only A and B on device (tens of MB per adapter) and
+// swaps them asynchronously, overlapping the copy with the previous
+// iteration's compute; the dLoRA-style configuration swaps
+// synchronously and pays the full PCIe latency on every miss.
+type Pool struct {
+	GPU      *simgpu.GPU
+	Capacity int64
+	// Async enables overlap of swap-ins with ongoing compute
+	// (VaLoRA). When false, every miss stalls the pipeline.
+	Async bool
+	// Contiguous indicates the pre-allocated contiguous weight layout
+	// of §4.4.1; without it every swap-in pays an extra on-device
+	// reshape copy (the dLoRA behaviour the paper criticizes).
+	Contiguous bool
+
+	used     int64
+	resident map[int]int64 // adapter ID → bytes
+	order    []int         // LRU, least recent first
+
+	swapIns   int
+	evictions int
+	stalled   time.Duration
+}
+
+// NewPool builds an adapter pool with the given byte budget.
+func NewPool(g *simgpu.GPU, capacity int64, async, contiguous bool) *Pool {
+	return &Pool{
+		GPU:        g,
+		Capacity:   capacity,
+		Async:      async,
+		Contiguous: contiguous,
+		resident:   make(map[int]int64),
+	}
+}
+
+// Resident reports whether an adapter is on device.
+func (p *Pool) Resident(id int) bool {
+	_, ok := p.resident[id]
+	return ok
+}
+
+// Used reports resident bytes.
+func (p *Pool) Used() int64 { return p.used }
+
+// SwapStats reports cumulative swap-ins, evictions and the total
+// pipeline stall charged.
+func (p *Pool) SwapStats() (swapIns, evictions int, stalled time.Duration) {
+	return p.swapIns, p.evictions, p.stalled
+}
+
+func (p *Pool) touch(id int) {
+	for i, v := range p.order {
+		if v == id {
+			p.order = append(append(p.order[:i:i], p.order[i+1:]...), id)
+			return
+		}
+	}
+	p.order = append(p.order, id)
+}
+
+func (p *Pool) evictUntil(need int64) {
+	for p.used+need > p.Capacity && len(p.order) > 0 {
+		victim := p.order[0]
+		p.order = p.order[1:]
+		p.used -= p.resident[victim]
+		delete(p.resident, victim)
+		p.evictions++
+	}
+}
+
+// Require ensures every adapter in the batch is resident and returns
+// the pipeline stall the swaps cause. overlapBudget is compute time
+// the copies can hide behind when asynchronous swapping is enabled
+// (typically the previous iteration's duration).
+func (p *Pool) Require(adapters []*Adapter, overlapBudget time.Duration) time.Duration {
+	var copyTime time.Duration
+	for _, a := range adapters {
+		if a == nil {
+			continue
+		}
+		if p.Resident(a.ID) {
+			p.touch(a.ID)
+			continue
+		}
+		bytes := a.Bytes()
+		p.evictUntil(bytes)
+		p.resident[a.ID] = bytes
+		p.used += bytes
+		p.touch(a.ID)
+		p.swapIns++
+
+		var t time.Duration
+		if p.Contiguous {
+			// Unified memory pools stage adapters through pinned
+			// buffers into pre-allocated contiguous slots.
+			t = p.GPU.HostToDevicePinned(bytes)
+		} else {
+			// Pageable copy plus an on-device gather into the
+			// kernel-visible buffer.
+			t = p.GPU.HostToDevice(bytes) + p.GPU.DeviceCopy(bytes)
+		}
+		copyTime += t
+	}
+	if copyTime == 0 {
+		return 0
+	}
+	if p.Async {
+		if copyTime <= overlapBudget {
+			return 0
+		}
+		copyTime -= overlapBudget
+	}
+	p.stalled += copyTime
+	return copyTime
+}

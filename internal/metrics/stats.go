@@ -1,0 +1,217 @@
+// Package metrics provides streaming statistics used by the VaLoRA
+// simulator: online mean/variance, percentile estimation over recorded
+// samples, and simple fixed-width histograms.
+//
+// All collectors are plain in-memory value types. None of them are
+// safe for concurrent use; the serving layer owns one collector per
+// goroutine and merges results explicitly.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Stream accumulates scalar samples and answers mean / percentile /
+// min / max queries. Samples are retained so that exact percentiles can
+// be computed; experiments in this repository record at most a few
+// hundred thousand samples, which keeps retention cheap.
+type Stream struct {
+	samples []float64
+	sum     float64
+	sorted  bool
+}
+
+// NewStream returns an empty sample stream.
+func NewStream() *Stream { return &Stream{} }
+
+// Add records one sample.
+func (s *Stream) Add(v float64) {
+	s.samples = append(s.samples, v)
+	s.sum += v
+	s.sorted = false
+}
+
+// AddDuration records a duration sample in milliseconds.
+func (s *Stream) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// Count reports the number of recorded samples.
+func (s *Stream) Count() int { return len(s.samples) }
+
+// Sum reports the sum of all recorded samples.
+func (s *Stream) Sum() float64 { return s.sum }
+
+// Mean reports the arithmetic mean, or 0 for an empty stream.
+func (s *Stream) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// Min reports the smallest sample, or 0 for an empty stream.
+func (s *Stream) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[0]
+}
+
+// Max reports the largest sample, or 0 for an empty stream.
+func (s *Stream) Max() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[len(s.samples)-1]
+}
+
+// Percentile reports the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. It returns 0 for an empty
+// stream.
+func (s *Stream) Percentile(p float64) float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.Min()
+	}
+	if p >= 100 {
+		return s.Max()
+	}
+	s.ensureSorted()
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return s.samples[lo]*(1-frac) + s.samples[hi]*frac
+}
+
+// StdDev reports the population standard deviation.
+func (s *Stream) StdDev() float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, v := range s.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Merge folds all samples of other into s.
+func (s *Stream) Merge(other *Stream) {
+	s.samples = append(s.samples, other.samples...)
+	s.sum += other.sum
+	s.sorted = false
+}
+
+// Reset discards all recorded samples.
+func (s *Stream) Reset() {
+	s.samples = s.samples[:0]
+	s.sum = 0
+	s.sorted = true
+}
+
+func (s *Stream) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}
+
+// Summary is a compact snapshot of a stream, convenient for report
+// tables.
+type Summary struct {
+	Count int
+	Mean  float64
+	P50   float64
+	P90   float64
+	P95   float64
+	P99   float64
+	Min   float64
+	Max   float64
+	Std   float64
+}
+
+// Summarize captures the common summary statistics of the stream.
+func (s *Stream) Summarize() Summary {
+	return Summary{
+		Count: s.Count(),
+		Mean:  s.Mean(),
+		P50:   s.Percentile(50),
+		P90:   s.Percentile(90),
+		P95:   s.Percentile(95),
+		P99:   s.Percentile(99),
+		Min:   s.Min(),
+		Max:   s.Max(),
+		Std:   s.StdDev(),
+	}
+}
+
+// String renders the summary on one line (values interpreted in the
+// caller's unit, typically milliseconds).
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p90=%.3f p95=%.3f p99=%.3f min=%.3f max=%.3f",
+		s.Count, s.Mean, s.P50, s.P90, s.P95, s.P99, s.Min, s.Max)
+}
+
+// Histogram counts samples into fixed-width buckets over [lo, hi).
+// Samples outside the range are clamped into the first/last bucket.
+type Histogram struct {
+	lo, hi  float64
+	width   float64
+	buckets []int
+	count   int
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]int, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	idx := int((v - h.lo) / h.width)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx]++
+	h.count++
+}
+
+// Count reports the total number of samples.
+func (h *Histogram) Count() int { return h.count }
+
+// Bucket reports the count in bucket i.
+func (h *Histogram) Bucket(i int) int { return h.buckets[i] }
+
+// NumBuckets reports the number of buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// BucketBounds reports the [lo, hi) range of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	lo = h.lo + float64(i)*h.width
+	return lo, lo + h.width
+}

@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"time"
+
+	"valora/internal/lora"
+)
+
+// VaLoRAPolicy implements Algorithm 1: serve in merged mode whenever
+// the workload allows (fastest, zero overhead); when starvation
+// appears, prefer the mixture mode (no merge→unmerge switch cost,
+// less extra compute); fall back to unmerged mode when starvation is
+// widespread.
+type VaLoRAPolicy struct {
+	// Theta is the credit tolerance θ: requests whose credit exceeds
+	// it count as starving.
+	Theta time.Duration
+	// EstExec and SwitchLat feed the credit estimate (execution time
+	// in the current mode and the mode-switch latency).
+	EstExec   time.Duration
+	SwitchLat time.Duration
+	// DisableMixture is the deLoRA ablation arm: starvation falls
+	// straight through to unmerged mode.
+	DisableMixture bool
+}
+
+// NewVaLoRAPolicy returns the policy with calibrated defaults.
+func NewVaLoRAPolicy() *VaLoRAPolicy {
+	return &VaLoRAPolicy{
+		Theta:     250 * time.Millisecond,
+		EstExec:   20 * time.Millisecond,
+		SwitchLat: 5 * time.Millisecond,
+	}
+}
+
+func (p *VaLoRAPolicy) Name() string { return "VaLoRA" }
+
+// Decide follows Algorithm 1 line by line: collect starving requests,
+// find the largest same-adapter cohort, then pick merge (no
+// starvation, cohort dominant), mixture (some starvation, cohort still
+// dominant) or unmerge (everything else).
+func (p *VaLoRAPolicy) Decide(now time.Duration, active []*Request, cur lora.State, maxBS int) Decision {
+	if len(active) == 0 {
+		return Decision{Mode: cur.Mode, Merged: cur.Merged}
+	}
+
+	// The tolerance scales with backlog depth: under overload every
+	// request waits many scheduling rounds, and labelling them all as
+	// starving would permanently disable the (throughput-superior)
+	// merged mode.
+	theta := p.Theta
+	if len(active) > maxBS {
+		theta = time.Duration(float64(p.Theta) * float64(len(active)) / float64(maxBS))
+	}
+	var starve []*Request
+	for _, r := range active {
+		if r.Credit(now, p.EstExec, p.SwitchLat) > theta {
+			starve = append(starve, r)
+		}
+	}
+	spare := maxBS - len(starve)
+	mergedID, mergeReqs := mostCommonAdapter(active, cur)
+
+	// Hysteresis: keep the currently merged adapter unless the new
+	// dominant cohort is meaningfully larger, so marginal count
+	// changes do not thrash the (cheap but nonzero) switch.
+	if cur.Merged >= 0 && mergedID != cur.Merged {
+		var curReqs []*Request
+		for _, r := range active {
+			if r.AdapterID == cur.Merged {
+				curReqs = append(curReqs, r)
+			}
+		}
+		if len(curReqs) > 0 && float64(len(mergeReqs)) < 1.5*float64(len(curReqs)) {
+			mergedID, mergeReqs = cur.Merged, curReqs
+		}
+	}
+
+	_ = spare
+
+	// Principle 1 (merged whenever possible), made batch-aware: a
+	// merged-only iteration excludes every other adapter's requests,
+	// so it only beats unmerged serving when the dominant cohort fills
+	// the batch on its own and nobody is starving.
+	if len(starve) == 0 && len(mergeReqs) >= maxBS {
+		return Decision{Mode: lora.ModeMerged, Merged: mergedID, Batch: capBatch(mergeReqs, maxBS)}
+	}
+
+	// Principle 2: the deLoRA mixture folds the dominant adapter for
+	// free while every other request runs unmerged alongside it. The
+	// deLoRA compensation branch covers the unmerged tokens, so the
+	// mixture pays off exactly while the merged cohort holds the
+	// majority of the work (the Fig. 20 crossover).
+	if !p.DisableMixture && float64(len(mergeReqs)) > 0.5*float64(len(active)) {
+		batch := capBatch(starve, maxBS)
+		batch = append(batch, subtract(mergeReqs, batch, maxBS-len(batch))...)
+		batch = append(batch, subtract(active, batch, maxBS-len(batch))...)
+		return Decision{Mode: lora.ModeMixture, Merged: mergedID, Batch: batch}
+	}
+
+	batch := capBatch(starve, maxBS)
+	batch = append(batch, subtract(active, batch, maxBS-len(batch))...)
+	return Decision{Mode: lora.ModeUnmerged, Merged: -1, Batch: batch}
+}
+
+// capBatch truncates a batch to maxBS requests.
+func capBatch(reqs []*Request, maxBS int) []*Request {
+	if len(reqs) <= maxBS {
+		return append([]*Request(nil), reqs...)
+	}
+	return append([]*Request(nil), reqs[:maxBS]...)
+}
+
+// subtract returns up to limit requests from all that are not in excl,
+// preserving order.
+func subtract(all, excl []*Request, limit int) []*Request {
+	if limit <= 0 {
+		return nil
+	}
+	in := make(map[int64]bool, len(excl))
+	for _, r := range excl {
+		in[r.ID] = true
+	}
+	var out []*Request
+	for _, r := range all {
+		if in[r.ID] {
+			continue
+		}
+		out = append(out, r)
+		if len(out) == limit {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"valora/internal/lora"
+)
+
+// decisionInvariants checks the structural properties every policy
+// decision must satisfy: batch within the cap, no duplicate requests,
+// batch drawn from the active set, and mode/merged consistency
+// (merged mode only contains the merged adapter's requests; an
+// adapter is named whenever the mode folds one).
+func decisionInvariants(t *testing.T, name string, d Decision, active []*Request, maxBS int) {
+	t.Helper()
+	if len(d.Batch) > maxBS {
+		t.Fatalf("%s: batch %d exceeds cap %d", name, len(d.Batch), maxBS)
+	}
+	inActive := make(map[int64]*Request, len(active))
+	for _, r := range active {
+		inActive[r.ID] = r
+	}
+	seen := make(map[int64]bool, len(d.Batch))
+	for _, r := range d.Batch {
+		if seen[r.ID] {
+			t.Fatalf("%s: request %d batched twice", name, r.ID)
+		}
+		seen[r.ID] = true
+		if inActive[r.ID] == nil {
+			t.Fatalf("%s: request %d not in the active set", name, r.ID)
+		}
+	}
+	switch d.Mode {
+	case lora.ModeMerged:
+		if d.Merged < 0 {
+			t.Fatalf("%s: merged mode without a merged adapter", name)
+		}
+		for _, r := range d.Batch {
+			if r.AdapterID != d.Merged {
+				t.Fatalf("%s: merged-mode batch contains foreign adapter %d (merged %d)",
+					name, r.AdapterID, d.Merged)
+			}
+		}
+	case lora.ModeMixture:
+		if d.Merged < 0 {
+			t.Fatalf("%s: mixture mode without a merged adapter", name)
+		}
+	case lora.ModeUnmerged:
+		// No constraints beyond the general ones.
+	default:
+		t.Fatalf("%s: unknown mode %v", name, d.Mode)
+	}
+}
+
+// randomActive builds a randomized active set with mixed waiting times
+// and adapter popularity.
+func randomActive(rng *rand.Rand, n, adapters int) []*Request {
+	out := make([]*Request, n)
+	for i := range out {
+		adapter := rng.Intn(adapters)
+		if rng.Float64() < 0.5 {
+			adapter = 0 // hot adapter
+		}
+		r := &Request{
+			ID:           int64(i + 1),
+			AdapterID:    adapter,
+			InputTokens:  64 + rng.Intn(512),
+			OutputTokens: 1 + rng.Intn(64),
+			Arrival:      time.Duration(rng.Intn(5000)) * time.Millisecond,
+		}
+		if rng.Float64() < 0.5 {
+			r.MarkScheduled(r.Arrival + time.Duration(rng.Intn(1000))*time.Millisecond)
+			r.Emitted = 1 + rng.Intn(r.OutputTokens)
+			if r.Emitted >= r.OutputTokens {
+				r.Emitted = r.OutputTokens - 1
+			}
+			r.PrefillDone = true
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func TestPolicyInvariantsProperty(t *testing.T) {
+	policies := []Policy{
+		NewVaLoRAPolicy(),
+		&VaLoRAPolicy{Theta: time.Millisecond, EstExec: time.Millisecond, SwitchLat: time.Millisecond},
+		&VaLoRAPolicy{Theta: time.Hour, DisableMixture: true},
+		&UnmergeOnlyPolicy{},
+		&MergeOnlyPolicy{},
+		NewDLoRAPolicy(),
+	}
+	states := []lora.State{
+		{Mode: lora.ModeUnmerged, Merged: -1},
+		{Mode: lora.ModeMerged, Merged: 0},
+		{Mode: lora.ModeMixture, Merged: 2},
+	}
+	f := func(seed int64, rawN, rawBS uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN) % 80
+		maxBS := int(rawBS)%48 + 1
+		active := randomActive(rng, n, 8)
+		now := 6 * time.Second
+		for _, p := range policies {
+			for _, cur := range states {
+				d := p.Decide(now, active, cur, maxBS)
+				decisionInvariants(t, p.Name(), d, active, maxBS)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPolicyServesEveryoneEventually simulates rounds of decisions and
+// checks no request waits forever under the VaLoRA policy (the
+// starvation guarantee of the credit mechanism).
+func TestPolicyServesEveryoneEventually(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := NewVaLoRAPolicy()
+	active := randomActive(rng, 60, 8)
+	for _, r := range active {
+		r.Emitted = 0
+		r.PrefillDone = false
+		r.Phase = PhaseQueued
+	}
+	cur := lora.State{Mode: lora.ModeUnmerged, Merged: -1}
+	served := make(map[int64]bool)
+	now := 6 * time.Second
+	const step = 20 * time.Millisecond
+	for round := 0; round < 400 && len(served) < len(active); round++ {
+		d := p.Decide(now, active, cur, 16)
+		for _, r := range d.Batch {
+			served[r.ID] = true
+			r.MarkScheduled(now)
+		}
+		cur = lora.State{Mode: d.Mode, Merged: d.Merged}
+		now += step
+	}
+	if len(served) != len(active) {
+		t.Fatalf("only %d/%d requests ever scheduled: starvation", len(served), len(active))
+	}
+}

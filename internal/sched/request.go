@@ -1,0 +1,156 @@
+// Package sched contains the request model and the scheduling
+// policies of the VaLoRA reproduction: the credit-based Algorithm 1
+// (merge / mixture / unmerge selection) and the baseline policies it
+// is evaluated against (merge-only, unmerge-only FCFS as in
+// S-LoRA/Punica, and dLoRA's workload-driven mode switching).
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"valora/internal/lora"
+	"valora/internal/train"
+)
+
+// AppType distinguishes the two vision applications of the evaluation
+// (§6.1): latency-tolerant visual retrieval and real-time video
+// analytics.
+type AppType int
+
+const (
+	VisualRetrieval AppType = iota
+	VideoAnalytics
+)
+
+func (a AppType) String() string {
+	if a == VideoAnalytics {
+		return "video-analytics"
+	}
+	return "visual-retrieval"
+}
+
+// Phase tracks a request through its lifetime.
+type Phase int
+
+const (
+	PhaseQueued Phase = iota
+	PhaseRunning
+	PhaseDone
+)
+
+// Request is one inference request flowing through the system.
+type Request struct {
+	ID        int64
+	App       AppType
+	Task      train.TaskType
+	AdapterID int
+	Head      train.HeadKind
+
+	InputTokens  int
+	OutputTokens int // decode rounds the answer needs (head-dependent)
+	Images       int
+	ImageID      string // identity for prefix caching ("" = unique)
+
+	Arrival time.Duration
+	// Deadline is the application's latency budget (0 = best effort).
+	Deadline time.Duration
+
+	// Runtime state, owned by the server.
+	Phase         Phase
+	PrefillDone   bool
+	SharedTokens  int // prompt tokens served by the prefix cache
+	Emitted       int
+	FirstSchedule time.Duration
+	LastSchedule  time.Duration
+	FirstToken    time.Duration
+	Finish        time.Duration
+	scheduledOnce bool
+}
+
+func (r *Request) String() string {
+	return fmt.Sprintf("req %d (%s, adapter %d, in %d, out %d)",
+		r.ID, r.App, r.AdapterID, r.InputTokens, r.OutputTokens)
+}
+
+// RemainingTokens reports how many output tokens are still to be
+// generated.
+func (r *Request) RemainingTokens() int { return r.OutputTokens - r.Emitted }
+
+// Done reports whether the request has emitted all its tokens.
+func (r *Request) Done() bool { return r.Emitted >= r.OutputTokens }
+
+// MarkScheduled updates bookkeeping when the request enters a batch.
+func (r *Request) MarkScheduled(now time.Duration) {
+	if !r.scheduledOnce {
+		r.FirstSchedule = now
+		r.scheduledOnce = true
+	}
+	r.LastSchedule = now
+	r.Phase = PhaseRunning
+}
+
+// Credit is the starvation measure of Algorithm 1: time since the
+// request was last served (or since arrival if never served), plus the
+// execution and switch latency it would still have to absorb.
+func (r *Request) Credit(now, estExec, switchLat time.Duration) time.Duration {
+	ref := r.Arrival
+	if r.scheduledOnce {
+		ref = r.LastSchedule
+	}
+	wait := now - ref
+	if wait < 0 {
+		wait = 0
+	}
+	return wait + estExec + switchLat
+}
+
+// Latency reports end-to-end latency once finished.
+func (r *Request) Latency() time.Duration { return r.Finish - r.Arrival }
+
+// Decision is a policy's output for one iteration.
+type Decision struct {
+	Mode   lora.Mode
+	Merged int // adapter to (keep) merged; -1 when unmerged
+	Batch  []*Request
+}
+
+// Policy selects the batch and inference mode for the next iteration.
+type Policy interface {
+	Name() string
+	// Decide picks the next batch from the active requests. cur is the
+	// runtime's current state; maxBS caps the batch size in requests.
+	Decide(now time.Duration, active []*Request, cur lora.State, maxBS int) Decision
+}
+
+// mostCommonAdapter returns the adapter with the most active requests
+// and those requests (in active order). Ties break toward the
+// currently merged adapter, then the lower ID, keeping decisions
+// deterministic.
+func mostCommonAdapter(active []*Request, cur lora.State) (int, []*Request) {
+	counts := make(map[int]int)
+	for _, r := range active {
+		counts[r.AdapterID]++
+	}
+	best, bestCount := -1, 0
+	for id, c := range counts {
+		switch {
+		case c > bestCount:
+			best, bestCount = id, c
+		case c == bestCount:
+			if id == cur.Merged || (best != cur.Merged && id < best) {
+				best = id
+			}
+		}
+	}
+	if best < 0 {
+		return -1, nil
+	}
+	var reqs []*Request
+	for _, r := range active {
+		if r.AdapterID == best {
+			reqs = append(reqs, r)
+		}
+	}
+	return best, reqs
+}

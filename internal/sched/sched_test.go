@@ -1,0 +1,251 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"valora/internal/lora"
+	"valora/internal/train"
+)
+
+func mkRequests(adapters []int, arrival time.Duration) []*Request {
+	out := make([]*Request, len(adapters))
+	for i, a := range adapters {
+		out[i] = &Request{
+			ID: int64(i + 1), AdapterID: a, App: VisualRetrieval, Task: train.VisualQA,
+			InputTokens: 128, OutputTokens: 16, Arrival: arrival,
+		}
+	}
+	return out
+}
+
+func repeat(id, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = id
+	}
+	return out
+}
+
+func TestRequestLifecycle(t *testing.T) {
+	r := &Request{ID: 1, OutputTokens: 2, Arrival: time.Second}
+	if r.Done() || r.RemainingTokens() != 2 {
+		t.Fatal("fresh request state wrong")
+	}
+	r.MarkScheduled(2 * time.Second)
+	if r.FirstSchedule != 2*time.Second || r.Phase != PhaseRunning {
+		t.Fatal("MarkScheduled bookkeeping wrong")
+	}
+	r.MarkScheduled(3 * time.Second)
+	if r.FirstSchedule != 2*time.Second || r.LastSchedule != 3*time.Second {
+		t.Fatal("first schedule must be sticky")
+	}
+	r.Emitted = 2
+	if !r.Done() {
+		t.Fatal("request should be done")
+	}
+	r.Finish = 5 * time.Second
+	if r.Latency() != 4*time.Second {
+		t.Fatalf("latency = %v, want 4s", r.Latency())
+	}
+	if r.String() == "" {
+		t.Fatal("request string empty")
+	}
+}
+
+func TestCredit(t *testing.T) {
+	r := &Request{Arrival: time.Second}
+	c := r.Credit(3*time.Second, 10*time.Millisecond, 5*time.Millisecond)
+	if c != 2*time.Second+15*time.Millisecond {
+		t.Fatalf("credit = %v", c)
+	}
+	r.MarkScheduled(4 * time.Second)
+	c = r.Credit(4*time.Second, 0, 0)
+	if c != 0 {
+		t.Fatalf("credit after scheduling = %v, want 0", c)
+	}
+	// Clock before arrival: waiting clamps at zero.
+	r2 := &Request{Arrival: 10 * time.Second}
+	if r2.Credit(time.Second, 0, 0) != 0 {
+		t.Fatal("credit must not be negative")
+	}
+}
+
+func TestVaLoRAPolicyFullMerge(t *testing.T) {
+	p := NewVaLoRAPolicy()
+	// 40 requests, all on adapter 7: the dominant cohort fills MaxBS
+	// with nobody starving → pure merged mode (Alg. 1 line 7-8).
+	active := mkRequests(repeat(7, 40), 0)
+	d := p.Decide(time.Millisecond, active, lora.State{Mode: lora.ModeUnmerged, Merged: -1}, 32)
+	if d.Mode != lora.ModeMerged || d.Merged != 7 {
+		t.Fatalf("want merged on adapter 7, got %v/%d", d.Mode, d.Merged)
+	}
+	if len(d.Batch) != 32 {
+		t.Fatalf("merged batch = %d, want full 32", len(d.Batch))
+	}
+}
+
+func TestVaLoRAPolicyMixtureMajority(t *testing.T) {
+	p := NewVaLoRAPolicy()
+	// 20 on adapter 1, 10 spread: majority but not a full batch →
+	// mixture, carrying everyone.
+	ids := append(repeat(1, 20), []int{2, 3, 4, 5, 6, 2, 3, 4, 5, 6}...)
+	active := mkRequests(ids, 0)
+	d := p.Decide(time.Millisecond, active, lora.State{Mode: lora.ModeUnmerged, Merged: -1}, 32)
+	if d.Mode != lora.ModeMixture || d.Merged != 1 {
+		t.Fatalf("want mixture on adapter 1, got %v/%d", d.Mode, d.Merged)
+	}
+	if len(d.Batch) != 30 {
+		t.Fatalf("mixture batch = %d, want all 30", len(d.Batch))
+	}
+}
+
+func TestVaLoRAPolicyUnmergeFallback(t *testing.T) {
+	p := NewVaLoRAPolicy()
+	// No majority: unmerged FCFS.
+	active := mkRequests([]int{1, 2, 3, 4, 5, 6, 7, 8}, 0)
+	d := p.Decide(time.Millisecond, active, lora.State{Mode: lora.ModeUnmerged, Merged: -1}, 32)
+	if d.Mode != lora.ModeUnmerged {
+		t.Fatalf("want unmerged, got %v", d.Mode)
+	}
+	if len(d.Batch) != 8 {
+		t.Fatalf("batch = %d, want 8", len(d.Batch))
+	}
+}
+
+func TestVaLoRAPolicyStarvationPriority(t *testing.T) {
+	p := NewVaLoRAPolicy()
+	p.Theta = 100 * time.Millisecond
+	// Adapter 1 dominates but one adapter-2 request has waited far
+	// beyond θ: it must be in the batch.
+	active := mkRequests(repeat(1, 40), 900*time.Millisecond)
+	starved := &Request{ID: 99, AdapterID: 2, Arrival: 0, InputTokens: 64, OutputTokens: 8}
+	active = append([]*Request{starved}, active...)
+	d := p.Decide(time.Second, active, lora.State{Mode: lora.ModeMerged, Merged: 1}, 32)
+	found := false
+	for _, r := range d.Batch {
+		if r.ID == 99 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("starved request missing from %v-mode batch", d.Mode)
+	}
+	if d.Mode == lora.ModeMerged {
+		t.Fatal("pure merged mode cannot serve the starved foreign-adapter request")
+	}
+}
+
+func TestVaLoRAPolicyDisableMixture(t *testing.T) {
+	p := NewVaLoRAPolicy()
+	p.DisableMixture = true
+	ids := append(repeat(1, 20), []int{2, 3, 4, 5, 6, 2, 3, 4, 5, 6}...)
+	active := mkRequests(ids, 0)
+	d := p.Decide(time.Millisecond, active, lora.State{Mode: lora.ModeUnmerged, Merged: -1}, 32)
+	if d.Mode == lora.ModeMixture {
+		t.Fatal("mixture disabled but chosen")
+	}
+}
+
+func TestVaLoRAPolicyHysteresis(t *testing.T) {
+	p := NewVaLoRAPolicy()
+	// Currently merged on adapter 1 with 33 requests; adapter 2 has 40
+	// (more, but < 1.5×33): hysteresis sticks with 1.
+	ids := append(repeat(1, 33), repeat(2, 40)...)
+	active := mkRequests(ids, 0)
+	d := p.Decide(time.Millisecond, active, lora.State{Mode: lora.ModeMerged, Merged: 1}, 32)
+	if d.Merged != 1 {
+		t.Fatalf("hysteresis should keep adapter 1 merged, got %d", d.Merged)
+	}
+	// 2× the cohort: switch.
+	ids = append(repeat(1, 20), repeat(2, 40)...)
+	active = mkRequests(ids, 0)
+	d = p.Decide(time.Millisecond, active, lora.State{Mode: lora.ModeMerged, Merged: 1}, 32)
+	if d.Merged != 2 {
+		t.Fatalf("clear dominance should switch to adapter 2, got %d", d.Merged)
+	}
+}
+
+func TestVaLoRAPolicyEmpty(t *testing.T) {
+	p := NewVaLoRAPolicy()
+	cur := lora.State{Mode: lora.ModeMerged, Merged: 3}
+	d := p.Decide(0, nil, cur, 32)
+	if len(d.Batch) != 0 || d.Mode != cur.Mode || d.Merged != cur.Merged {
+		t.Fatal("empty active set should keep the current state")
+	}
+}
+
+func TestUnmergeOnlyPolicy(t *testing.T) {
+	p := &UnmergeOnlyPolicy{SystemName: "S-LoRA"}
+	if p.Name() != "S-LoRA" {
+		t.Fatal("system name not used")
+	}
+	active := mkRequests(repeat(1, 50), 0)
+	d := p.Decide(0, active, lora.State{}, 32)
+	if d.Mode != lora.ModeUnmerged || len(d.Batch) != 32 || d.Merged != -1 {
+		t.Fatalf("unmerge-only decision wrong: %v", d)
+	}
+	if (&UnmergeOnlyPolicy{}).Name() != "unmerge-only" {
+		t.Fatal("default name wrong")
+	}
+}
+
+func TestMergeOnlyPolicy(t *testing.T) {
+	p := &MergeOnlyPolicy{}
+	ids := append(repeat(4, 10), repeat(5, 3)...)
+	active := mkRequests(ids, 0)
+	d := p.Decide(0, active, lora.State{Mode: lora.ModeUnmerged, Merged: -1}, 32)
+	if d.Mode != lora.ModeMerged || d.Merged != 4 || len(d.Batch) != 10 {
+		t.Fatalf("merge-only should pick the popular adapter: %v/%d/%d", d.Mode, d.Merged, len(d.Batch))
+	}
+	// Stickiness: while adapter 5 still has work, keep it merged even
+	// though 4 is more popular.
+	d = p.Decide(0, active, lora.State{Mode: lora.ModeMerged, Merged: 5}, 32)
+	if d.Merged != 5 {
+		t.Fatal("merge-only should finish the current adapter's work first")
+	}
+}
+
+func TestDLoRAPolicy(t *testing.T) {
+	p := NewDLoRAPolicy()
+	if p.Name() != "dLoRA" {
+		t.Fatal("name wrong")
+	}
+	// Majority → merged.
+	ids := append(repeat(1, 10), []int{2, 3}...)
+	d := p.Decide(0, mkRequests(ids, 0), lora.State{Mode: lora.ModeUnmerged, Merged: -1}, 32)
+	if d.Mode != lora.ModeMerged || d.Merged != 1 {
+		t.Fatalf("dLoRA should merge the majority adapter: %v", d)
+	}
+	// No majority → unmerged.
+	d = p.Decide(0, mkRequests([]int{1, 2, 3, 4, 5}, 0), lora.State{Mode: lora.ModeUnmerged, Merged: -1}, 32)
+	if d.Mode != lora.ModeUnmerged {
+		t.Fatalf("dLoRA should unmerge without a majority: %v", d.Mode)
+	}
+}
+
+func TestMostCommonAdapterDeterministicTies(t *testing.T) {
+	active := mkRequests([]int{5, 2, 5, 2}, 0)
+	id1, _ := mostCommonAdapter(active, lora.State{Merged: -1})
+	id2, _ := mostCommonAdapter(active, lora.State{Merged: -1})
+	if id1 != id2 {
+		t.Fatal("tie-breaking must be deterministic")
+	}
+	if id1 != 2 {
+		t.Fatalf("tie should break to the lower ID, got %d", id1)
+	}
+	// Ties prefer the currently merged adapter.
+	id3, _ := mostCommonAdapter(active, lora.State{Merged: 5})
+	if id3 != 5 {
+		t.Fatalf("tie should prefer the merged adapter, got %d", id3)
+	}
+}
+
+func TestAppTypeAndPhaseStrings(t *testing.T) {
+	if VisualRetrieval.String() == "" || VideoAnalytics.String() == "" {
+		t.Fatal("app names empty")
+	}
+	if VisualRetrieval.String() == VideoAnalytics.String() {
+		t.Fatal("app names must differ")
+	}
+}

@@ -1,0 +1,99 @@
+package serving
+
+import (
+	"fmt"
+	"time"
+
+	"valora/internal/workload"
+)
+
+// Cluster runs several identical serving instances behind a
+// round-robin dispatcher, the multi-GPU configuration of Table 3. Each
+// instance serves its shard independently (the paper's scope is
+// single-instance optimization; inter-GPU scheduling is future work
+// there too).
+type Cluster struct {
+	servers []*Server
+}
+
+// NewCluster builds n identical instances from an options factory
+// (called once per instance so servers do not share mutable state).
+func NewCluster(n int, build func(i int) (Options, error)) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("serving: cluster needs at least one instance")
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		opts, err := build(i)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := NewServer(opts)
+		if err != nil {
+			return nil, err
+		}
+		c.servers = append(c.servers, srv)
+	}
+	return c, nil
+}
+
+// Size reports the number of instances.
+func (c *Cluster) Size() int { return len(c.servers) }
+
+// Run dispatches the trace round-robin and aggregates the per-instance
+// reports: requests/completions/tokens sum, latency percentiles merge,
+// throughput is total completions over the longest instance makespan.
+func (c *Cluster) Run(trace workload.Trace) (*Report, error) {
+	shards := make([]workload.Trace, len(c.servers))
+	for i, r := range trace {
+		s := i % len(c.servers)
+		shards[s] = append(shards[s], r)
+	}
+
+	agg := &Report{
+		System:         c.servers[0].opts.Name + fmt.Sprintf(" x%d", len(c.servers)),
+		Model:          c.servers[0].opts.Model.Name,
+		ModeIterations: make(map[string]int),
+	}
+	var latencySum time.Duration
+	var tokensOut int
+	for i, srv := range c.servers {
+		rep, err := srv.Run(shards[i])
+		if err != nil {
+			return nil, err
+		}
+		agg.Requests += rep.Requests
+		agg.Completed += rep.Completed
+		agg.Iterations += rep.Iterations
+		agg.Switches += rep.Switches
+		agg.SwitchTime += rep.SwitchTime
+		agg.SwapIns += rep.SwapIns
+		agg.SwapStall += rep.SwapStall
+		for k, v := range rep.ModeIterations {
+			agg.ModeIterations[k] += v
+		}
+		if rep.SimTime > agg.SimTime {
+			agg.SimTime = rep.SimTime
+		}
+		latencySum += srv.latencySum
+		tokensOut += srv.tokensOut
+		agg.DeadlineMisses += rep.DeadlineMisses
+		agg.DeadlineTotal += rep.DeadlineTotal
+	}
+	if tokensOut > 0 {
+		agg.AvgTokenLatency = float64(latencySum) / float64(time.Millisecond) / float64(tokensOut)
+	}
+	if agg.SimTime > 0 {
+		agg.Throughput = float64(agg.Completed) / agg.SimTime.Seconds()
+	}
+	// Merge latency streams for aggregate percentiles.
+	e2e := c.servers[0].e2e
+	ttft := c.servers[0].ttft
+	for _, srv := range c.servers[1:] {
+		e2e.Merge(srv.e2e)
+		ttft.Merge(srv.ttft)
+	}
+	agg.E2E = e2e.Summarize()
+	agg.TTFT = ttft.Summarize()
+	return agg, nil
+}

@@ -1,0 +1,180 @@
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"valora/internal/lmm"
+	"valora/internal/sched"
+	"valora/internal/simgpu"
+	"valora/internal/train"
+	"valora/internal/workload"
+)
+
+// Frontend is the demo HTTP interface of cmd/valora-server (the
+// RPyC-style streaming frontend of §5, reduced to JSON-over-HTTP). It
+// accepts single inference requests and replay jobs, runs them through
+// the simulated runtime, and reports the timing the real system would
+// deliver.
+type Frontend struct {
+	Kind  SystemKind
+	GPU   *simgpu.GPU
+	Model lmm.Config
+
+	mux  *http.ServeMux
+	seq  int64
+	seed int64
+}
+
+// NewFrontend builds the HTTP handler for a system/model pair.
+func NewFrontend(kind SystemKind, g *simgpu.GPU, model lmm.Config) *Frontend {
+	f := &Frontend{Kind: kind, GPU: g, Model: model, mux: http.NewServeMux(), seed: 1}
+	f.mux.HandleFunc("/v1/model", f.handleModel)
+	f.mux.HandleFunc("/v1/requests", f.handleRequest)
+	f.mux.HandleFunc("/v1/replay", f.handleReplay)
+	f.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return f
+}
+
+// ServeHTTP dispatches to the frontend's routes.
+func (f *Frontend) ServeHTTP(w http.ResponseWriter, r *http.Request) { f.mux.ServeHTTP(w, r) }
+
+func (f *Frontend) handleModel(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"system":        string(f.Kind),
+		"model":         f.Model.Name,
+		"layers":        f.Model.Layers,
+		"dim":           f.Model.Dim,
+		"weight_bytes":  f.Model.WeightBytes,
+		"visual_tokens": f.Model.VisualTokens,
+		"lora_rank":     f.Model.DefaultRank,
+	})
+}
+
+// requestBody is the JSON schema of POST /v1/requests.
+type requestBody struct {
+	AdapterID    int    `json:"adapter_id"`
+	InputTokens  int    `json:"input_tokens"`
+	OutputTokens int    `json:"output_tokens"`
+	Images       int    `json:"images"`
+	Task         string `json:"task"`
+}
+
+func (f *Frontend) handleRequest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var body requestBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if body.InputTokens <= 0 {
+		body.InputTokens = f.Model.VisualTokens + 64
+	}
+	if body.OutputTokens <= 0 {
+		body.OutputTokens = 64
+	}
+	f.seq++
+	req := &sched.Request{
+		ID:           f.seq,
+		AdapterID:    body.AdapterID,
+		App:          sched.VisualRetrieval,
+		Task:         train.VisualQA,
+		Head:         train.LMHead,
+		InputTokens:  body.InputTokens,
+		OutputTokens: body.OutputTokens,
+		Images:       body.Images,
+	}
+	srv, err := NewSystem(f.Kind, f.GPU, f.Model)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rep, err := srv.Run(workload.Trace{req})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"request_id":        req.ID,
+		"ttft_ms":           float64(req.FirstToken) / float64(time.Millisecond),
+		"e2e_ms":            float64(req.Latency()) / float64(time.Millisecond),
+		"avg_token_latency": rep.AvgTokenLatency,
+		"output_tokens":     req.OutputTokens,
+	})
+}
+
+// replayBody is the JSON schema of POST /v1/replay.
+type replayBody struct {
+	App      string  `json:"app"`  // "retrieval" | "video"
+	Rate     float64 `json:"rate"` // retrieval req/s or video streams
+	Seconds  int     `json:"seconds"`
+	Adapters int     `json:"adapters"`
+	Skew     float64 `json:"skew"`
+}
+
+func (f *Frontend) handleReplay(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var body replayBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if body.Seconds <= 0 {
+		body.Seconds = 30
+	}
+	if body.Adapters <= 0 {
+		body.Adapters = 16
+	}
+	if body.Skew <= 0 {
+		body.Skew = 0.6
+	}
+	if body.Rate <= 0 {
+		body.Rate = 4
+	}
+	dur := time.Duration(body.Seconds) * time.Second
+	var trace workload.Trace
+	if body.App == "video" {
+		trace = workload.GenVideo(workload.DefaultVideo(int(body.Rate), dur, body.Adapters, body.Skew, f.seed))
+	} else {
+		trace = workload.GenRetrieval(workload.DefaultRetrieval(body.Rate, dur, body.Adapters, body.Skew, f.seed))
+	}
+	f.seed++
+	srv, err := NewSystem(f.Kind, f.GPU, f.Model)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rep, err := srv.Run(trace)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"system":               rep.System,
+		"requests":             rep.Requests,
+		"completed":            rep.Completed,
+		"avg_token_latency_ms": rep.AvgTokenLatency,
+		"throughput_rps":       rep.Throughput,
+		"e2e_p50_ms":           rep.E2E.P50,
+		"e2e_p95_ms":           rep.E2E.P95,
+		"mode_iterations":      rep.ModeIterations,
+		"switches":             rep.Switches,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,111 @@
+package serving
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"valora/internal/lmm"
+	"valora/internal/simgpu"
+)
+
+func newTestFrontend(t *testing.T) *Frontend {
+	t.Helper()
+	return NewFrontend(SystemVaLoRA, simgpu.A100(), lmm.QwenVL7B())
+}
+
+func TestFrontendModelEndpoint(t *testing.T) {
+	f := newTestFrontend(t)
+	rec := httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/model", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["model"] != "Qwen-VL-7B" || body["system"] != "VaLoRA" {
+		t.Fatalf("unexpected body %v", body)
+	}
+}
+
+func TestFrontendRequestEndpoint(t *testing.T) {
+	f := newTestFrontend(t)
+	payload := `{"adapter_id": 1, "input_tokens": 400, "output_tokens": 32, "images": 1}`
+	rec := httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/requests", strings.NewReader(payload)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["e2e_ms"].(float64) <= 0 || body["ttft_ms"].(float64) <= 0 {
+		t.Fatalf("degenerate timing %v", body)
+	}
+	if body["ttft_ms"].(float64) > body["e2e_ms"].(float64) {
+		t.Fatal("TTFT cannot exceed end-to-end latency")
+	}
+}
+
+func TestFrontendRequestDefaultsAndErrors(t *testing.T) {
+	f := newTestFrontend(t)
+	// Defaults fill zero token counts.
+	rec := httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/requests", strings.NewReader(`{}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	// Bad JSON.
+	rec = httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/requests", strings.NewReader(`{`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad JSON should 400, got %d", rec.Code)
+	}
+	// Wrong method.
+	rec = httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/requests", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET should 405, got %d", rec.Code)
+	}
+}
+
+func TestFrontendReplayEndpoint(t *testing.T) {
+	f := newTestFrontend(t)
+	payload := `{"app":"retrieval","rate":3,"seconds":5,"adapters":8,"skew":0.6}`
+	rec := httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/replay", strings.NewReader(payload)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["completed"].(float64) <= 0 || body["avg_token_latency_ms"].(float64) <= 0 {
+		t.Fatalf("degenerate replay %v", body)
+	}
+}
+
+func TestFrontendReplayVideo(t *testing.T) {
+	f := newTestFrontend(t)
+	payload := `{"app":"video","rate":2,"seconds":5}`
+	rec := httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/replay", strings.NewReader(payload)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestFrontendHealthz(t *testing.T) {
+	f := newTestFrontend(t)
+	rec := httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz failed: %d %s", rec.Code, rec.Body)
+	}
+}

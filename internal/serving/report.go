@@ -1,0 +1,74 @@
+// Package serving implements the VaLoRA inference runtime in
+// simulation: an iteration-level (continuous-batching) serving loop in
+// virtual time over the lmm/lora/sched substrates, multi-GPU clusters,
+// and the metrics the paper reports (average token latency,
+// throughput, time-to-first-token).
+package serving
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"valora/internal/metrics"
+)
+
+// Report summarizes one serving run.
+type Report struct {
+	System string
+	Model  string
+
+	Requests  int
+	Completed int
+	// Rejected counts requests whose prompt exceeded the whole KV
+	// cache (never servable on this instance).
+	Rejected int
+	SimTime  time.Duration
+
+	// AvgTokenLatency is the paper's headline metric (§6.1): the sum
+	// of request end-to-end latencies divided by the total number of
+	// tokens (input + output), in milliseconds per token.
+	AvgTokenLatency float64
+	// E2E summarizes request end-to-end latencies (ms).
+	E2E metrics.Summary
+	// TTFT summarizes time-to-first-token (ms).
+	TTFT metrics.Summary
+	// Throughput is completed requests per simulated second.
+	Throughput float64
+
+	// Runtime accounting.
+	Iterations     int
+	ModeIterations map[string]int
+	Switches       int
+	SwitchTime     time.Duration
+	LoRATime       time.Duration // time spent in LoRA extra computation
+	BaseTime       time.Duration // time spent in base-model computation
+	SwapIns        int
+	SwapStall      time.Duration
+	Preemptions    int
+	PrefixHitRate  float64
+	DeadlineMisses int
+	DeadlineTotal  int
+}
+
+// DeadlineMissRate reports the fraction of deadline-carrying requests
+// that missed.
+func (r *Report) DeadlineMissRate() float64 {
+	if r.DeadlineTotal == 0 {
+		return 0
+	}
+	return float64(r.DeadlineMisses) / float64(r.DeadlineTotal)
+}
+
+// String renders a one-paragraph summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s: %d/%d requests in %v\n", r.System, r.Model, r.Completed, r.Requests, r.SimTime.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  avg token latency %.2f ms, throughput %.2f req/s\n", r.AvgTokenLatency, r.Throughput)
+	fmt.Fprintf(&b, "  e2e %s\n", r.E2E)
+	fmt.Fprintf(&b, "  ttft %s\n", r.TTFT)
+	fmt.Fprintf(&b, "  %d iterations (modes %v), %d switches (%v), swap stall %v, prefix hit %.0f%%\n",
+		r.Iterations, r.ModeIterations, r.Switches, r.SwitchTime.Round(time.Microsecond),
+		r.SwapStall.Round(time.Microsecond), 100*r.PrefixHitRate)
+	return b.String()
+}

@@ -1,0 +1,398 @@
+package serving
+
+import (
+	"fmt"
+	"time"
+
+	"valora/internal/atmm"
+	"valora/internal/lmm"
+	"valora/internal/lora"
+	"valora/internal/metrics"
+	"valora/internal/sched"
+	"valora/internal/sim"
+	"valora/internal/simgpu"
+	"valora/internal/workload"
+)
+
+// Options configure one serving instance.
+type Options struct {
+	Name  string
+	GPU   *simgpu.GPU
+	Model lmm.Config
+
+	Policy   sched.Policy
+	Operator atmm.Operator
+	Switcher lora.Switcher
+	Registry *lora.Registry
+
+	// MaxBatch caps the batch size in requests (MaxBS of Alg. 1).
+	MaxBatch int
+	// AdmitCap bounds the requests concurrently admitted to the
+	// runtime (vLLM-style running set); arrivals beyond it wait in the
+	// frontend queue. Bounding work-in-progress keeps the KV cache
+	// from thrashing under overload. Default 3×MaxBatch.
+	AdmitCap int
+	// AdapterPoolBytes is the device budget for resident adapters.
+	AdapterPoolBytes int64
+	// KVBudgetBytes is the device budget for the KV cache; 0 derives
+	// it from what the weights and adapter pool leave free.
+	KVBudgetBytes int64
+	// PrefixCacheImages enables image-KV reuse when > 0.
+	PrefixCacheImages int
+	// AsyncSwap overlaps adapter swap-ins with compute (§5).
+	AsyncSwap bool
+	// ContiguousMemory is the pre-allocated weight layout of §4.4.1.
+	ContiguousMemory bool
+}
+
+func (o *Options) withDefaults() error {
+	if o.GPU == nil {
+		o.GPU = simgpu.A100()
+	}
+	if o.Model.Layers == 0 {
+		o.Model = lmm.QwenVL7B()
+	}
+	if o.Policy == nil {
+		return fmt.Errorf("serving: Options.Policy is required")
+	}
+	if o.Operator == nil {
+		return fmt.Errorf("serving: Options.Operator is required")
+	}
+	if o.Switcher == nil {
+		return fmt.Errorf("serving: Options.Switcher is required")
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 32
+	}
+	if o.AdmitCap == 0 {
+		o.AdmitCap = 3 * o.MaxBatch
+	}
+	if o.AdapterPoolBytes == 0 {
+		o.AdapterPoolBytes = 8 << 30
+	}
+	if o.KVBudgetBytes == 0 {
+		free := o.GPU.MemoryBytes - o.Model.WeightBytes - o.AdapterPoolBytes - (4 << 30)
+		if free < 1<<30 {
+			free = 1 << 30
+		}
+		o.KVBudgetBytes = free
+	}
+	if o.Name == "" {
+		o.Name = o.Policy.Name()
+	}
+	return nil
+}
+
+// Server is one simulated GPU serving instance.
+type Server struct {
+	opts     Options
+	clock    sim.Clock
+	engine   *lmm.Engine
+	kv       *lmm.KVCache
+	prefix   *lmm.PrefixCache
+	pool     *lora.Pool
+	state    lora.State
+	lastIter time.Duration
+
+	report     *Report
+	e2e        *metrics.Stream
+	ttft       *metrics.Stream
+	latencySum time.Duration
+	tokensOut  int
+}
+
+// NewServer builds a serving instance.
+func NewServer(opts Options) (*Server, error) {
+	if err := opts.withDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:   opts,
+		engine: lmm.NewEngine(opts.GPU, opts.Model),
+		kv:     lmm.NewKVCache(opts.Model, opts.KVBudgetBytes),
+		prefix: lmm.NewPrefixCache(opts.PrefixCacheImages),
+		pool:   lora.NewPool(opts.GPU, opts.AdapterPoolBytes, opts.AsyncSwap, opts.ContiguousMemory),
+		state:  lora.State{Mode: lora.ModeUnmerged, Merged: -1},
+		e2e:    metrics.NewStream(),
+		ttft:   metrics.NewStream(),
+	}
+	s.report = &Report{
+		System:         opts.Name,
+		Model:          opts.Model.Name,
+		ModeIterations: make(map[string]int),
+	}
+	return s, nil
+}
+
+// adapterOf resolves a request's adapter from the registry, or
+// synthesizes a default-rank descriptor when no registry is set.
+func (s *Server) adapterOf(id int) *lora.Adapter {
+	if s.opts.Registry != nil {
+		if a, ok := s.opts.Registry.Get(id); ok {
+			return a
+		}
+	}
+	return &lora.Adapter{ID: id, Name: fmt.Sprintf("lora-%d", id), Rank: s.opts.Model.DefaultRank, Model: s.opts.Model}
+}
+
+// Run replays a trace through the serving loop and reports metrics.
+// The trace's requests are mutated (runtime state); callers replaying
+// the same workload across systems should generate a fresh trace per
+// run.
+func (s *Server) Run(trace workload.Trace) (*Report, error) {
+	var active, waiting []*sched.Request
+	next := 0
+	s.report.Requests = len(trace)
+
+	for next < len(trace) || len(active) > 0 || len(waiting) > 0 {
+		now := s.clock.Now()
+
+		// Ingest arrivals into the frontend queue, then admit into the
+		// runtime up to the work-in-progress cap.
+		for next < len(trace) && trace[next].Arrival <= now {
+			waiting = append(waiting, trace[next])
+			next++
+		}
+		for len(waiting) > 0 && len(active) < s.opts.AdmitCap {
+			active = append(active, waiting[0])
+			waiting = waiting[1:]
+		}
+		if len(active) == 0 {
+			if next >= len(trace) {
+				break
+			}
+			s.clock.AdvanceTo(trace[next].Arrival)
+			continue
+		}
+
+		d := s.opts.Policy.Decide(now, active, s.state, s.opts.MaxBatch)
+		batch := s.admit(d.Batch)
+		batch = s.ensureKVHeadroom(batch)
+		active = filterDone(active) // drop rejected requests
+		if len(batch) == 0 {
+			// Nothing schedulable (e.g. KV pressure): let time move to
+			// the next arrival or retry after a scheduling quantum.
+			if next < len(trace) && trace[next].Arrival > now {
+				s.clock.AdvanceTo(trace[next].Arrival)
+			} else {
+				s.clock.Advance(time.Millisecond)
+			}
+			continue
+		}
+
+		// Mode switch.
+		target := lora.State{Mode: d.Mode, Merged: d.Merged}
+		if target != s.state {
+			st := s.opts.Switcher.SwitchTime(s.state, target)
+			if st > 0 {
+				s.report.Switches++
+				s.report.SwitchTime += st
+				s.clock.Advance(st)
+			}
+			s.state = target
+		}
+
+		// Adapter residency (the merged adapter must be resident to
+		// stay folded; unmerged adapters must be resident to compute).
+		var needed []*lora.Adapter
+		seen := map[int]bool{}
+		for _, r := range batch {
+			if !seen[r.AdapterID] {
+				seen[r.AdapterID] = true
+				needed = append(needed, s.adapterOf(r.AdapterID))
+			}
+		}
+		if stall := s.pool.Require(needed, s.lastIter); stall > 0 {
+			s.clock.Advance(stall)
+		}
+
+		// Build the iteration load and LoRA token groups.
+		var load lmm.IterationLoad
+		groupTokens := map[int]int{}
+		for _, r := range batch {
+			if !r.PrefillDone {
+				load.PrefillTokens += r.InputTokens - r.SharedTokens
+				if r.SharedTokens == 0 {
+					load.PrefillImages += r.Images
+				}
+				groupTokens[r.AdapterID] += r.InputTokens - r.SharedTokens
+			} else {
+				load.DecodeSeqs++
+				load.ContextTokens += s.kv.Tokens(r.ID)
+				groupTokens[r.AdapterID]++
+			}
+		}
+		groups := make([]lora.TokenGroup, 0, len(groupTokens))
+		for id, tok := range groupTokens {
+			groups = append(groups, lora.TokenGroup{AdapterID: id, Rank: s.adapterOf(id).Rank, Tokens: tok})
+		}
+
+		base := s.engine.IterationTime(load)
+		extra, err := lora.ExtraCost(s.opts.Operator, s.opts.Model, s.state.Mode, s.state.Merged, groups)
+		if err != nil {
+			return nil, err
+		}
+		iter := base + extra
+		s.report.BaseTime += base
+		s.report.LoRATime += extra
+		s.report.Iterations++
+		s.report.ModeIterations[s.state.Mode.String()]++
+		s.lastIter = iter
+		s.clock.Advance(iter)
+		end := s.clock.Now()
+
+		// Token accounting: the prefill iteration also emits the first
+		// output token; decode iterations emit one token each.
+		for _, r := range batch {
+			r.MarkScheduled(now)
+			if !r.PrefillDone {
+				r.PrefillDone = true
+			}
+			if err := s.kv.Extend(r.ID); err != nil {
+				return nil, err
+			}
+			r.Emitted++
+			if r.Emitted == 1 {
+				r.FirstToken = end
+				s.ttft.AddDuration(end - r.Arrival)
+			}
+			if r.Done() {
+				r.Finish = end
+				r.Phase = sched.PhaseDone
+				s.finish(r)
+			}
+		}
+		active = filterDone(active)
+	}
+
+	s.finalize()
+	return s.report, nil
+}
+
+// admit filters a proposed batch down to requests whose KV needs fit,
+// allocating prompt KV (with prefix-cache lookups) for requests
+// entering prefill. A preempted request re-prefills its prompt plus
+// the tokens it already emitted (recompute-style preemption).
+func (s *Server) admit(batch []*sched.Request) []*sched.Request {
+	out := batch[:0:0]
+	for _, r := range batch {
+		if r.PrefillDone {
+			out = append(out, r)
+			continue
+		}
+		if s.kv.Tokens(r.ID) > 0 {
+			out = append(out, r) // already allocated, resuming prefill
+			continue
+		}
+		shared := 0
+		if r.ImageID != "" {
+			visual := r.Images * s.opts.Model.VisualTokens
+			if visual > r.InputTokens {
+				visual = r.InputTokens
+			}
+			shared = s.prefix.Lookup(r.ImageID, visual)
+		}
+		ctx := r.InputTokens + r.Emitted
+		// A prompt that cannot fit even an empty cache will never be
+		// servable on this instance: reject it rather than spin.
+		need := (ctx - shared + 1 + lmm.BlockSize - 1) / lmm.BlockSize
+		if need > s.kv.TotalBlocks() {
+			s.reject(r)
+			continue
+		}
+		if !s.kv.CanFit(ctx - shared + 1) {
+			continue // KV pressure: leave queued
+		}
+		if err := s.kv.Allocate(r.ID, ctx, shared); err != nil {
+			continue
+		}
+		r.SharedTokens = shared
+		out = append(out, r)
+	}
+	return out
+}
+
+// ensureKVHeadroom guarantees the iteration cannot exhaust the KV
+// cache mid-flight: every batched request may claim one fresh block
+// for its emitted token. When headroom is short, prefill entrants are
+// shed first; if decode-only requests still overflow, the youngest is
+// preempted (blocks released, recompute on next schedule) — the
+// recompute preemption of vLLM-style engines.
+func (s *Server) ensureKVHeadroom(batch []*sched.Request) []*sched.Request {
+	for len(batch) > 0 && s.kv.FreeBlocks() < len(batch) {
+		// Shed the most recently admitted prefill entrant first.
+		shed := -1
+		for i := len(batch) - 1; i >= 0; i-- {
+			if !batch[i].PrefillDone && batch[i].Emitted == 0 {
+				shed = i
+				break
+			}
+		}
+		if shed < 0 {
+			shed = len(batch) - 1 // preempt the last decoding request
+		}
+		victim := batch[shed]
+		s.preempt(victim)
+		batch = append(batch[:shed], batch[shed+1:]...)
+	}
+	return batch
+}
+
+// reject permanently fails a request whose KV footprint exceeds the
+// whole cache (it could never be scheduled).
+func (s *Server) reject(r *sched.Request) {
+	r.Phase = sched.PhaseDone
+	r.Finish = s.clock.Now()
+	s.report.Rejected++
+}
+
+// preempt releases a request's KV; it will re-prefill (prompt + tokens
+// generated so far) when next scheduled.
+func (s *Server) preempt(r *sched.Request) {
+	s.kv.Release(r.ID)
+	r.PrefillDone = false
+	r.SharedTokens = 0
+	r.Phase = sched.PhaseQueued
+	s.report.Preemptions++
+}
+
+func (s *Server) finish(r *sched.Request) {
+	s.kv.Release(r.ID)
+	s.report.Completed++
+	lat := r.Latency()
+	s.latencySum += lat
+	s.tokensOut += r.InputTokens + r.OutputTokens
+	s.e2e.AddDuration(lat)
+	if r.Deadline > 0 {
+		s.report.DeadlineTotal++
+		if lat > r.Deadline {
+			s.report.DeadlineMisses++
+		}
+	}
+}
+
+func (s *Server) finalize() {
+	s.report.SimTime = s.clock.Now()
+	if s.tokensOut > 0 {
+		s.report.AvgTokenLatency = float64(s.latencySum) / float64(time.Millisecond) / float64(s.tokensOut)
+	}
+	if s.report.SimTime > 0 {
+		s.report.Throughput = float64(s.report.Completed) / s.report.SimTime.Seconds()
+	}
+	s.report.E2E = s.e2e.Summarize()
+	s.report.TTFT = s.ttft.Summarize()
+	swapIns, _, stall := s.pool.SwapStats()
+	s.report.SwapIns = swapIns
+	s.report.SwapStall = stall
+	s.report.PrefixHitRate = s.prefix.HitRate()
+}
+
+func filterDone(reqs []*sched.Request) []*sched.Request {
+	out := reqs[:0]
+	for _, r := range reqs {
+		if r.Phase != sched.PhaseDone {
+			out = append(out, r)
+		}
+	}
+	return out
+}

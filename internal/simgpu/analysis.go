@@ -1,0 +1,68 @@
+package simgpu
+
+import "fmt"
+
+// TileAnalysis reproduces the accounting of the paper's Fig. 12: how a
+// tiling configuration decomposes the two multiplied matrices into
+// thread-block tiles and warp tiles, and the memory-hierarchy traffic
+// that decomposition implies.
+type TileAnalysis struct {
+	Shape  Shape
+	Config TileConfig
+
+	// Tile counts, in the paper's (A-tiles)×(B-tiles) notation.
+	ABlockTiles [2]int // A split into [M/BM] x [K/BK]
+	BBlockTiles [2]int // B split into [K/BK] x [N/BN]
+	AWarpTiles  [2]int // per block tile: [BM/WM] x [BK/WK]
+	BWarpTiles  [2]int // per block tile: [BK/WK] x [BN/WN]
+
+	ThreadBlocks int
+	SMsUsed      int
+	SMsTotal     int
+	GlobalBytes  int64 // HBM traffic after L2 reuse
+	SharedBytes  int64 // bytes staged through shared memory
+	PaddingFrac  float64
+}
+
+// AnalyzeTiling computes the Fig. 12 decomposition of shape under cfg.
+func (g *GPU) AnalyzeTiling(s Shape, cfg TileConfig) (TileAnalysis, error) {
+	kc, err := g.GEMMCost(s, cfg, TensorCore)
+	if err != nil {
+		return TileAnalysis{}, err
+	}
+	smUsed := kc.Blocks
+	if smUsed > g.SMs {
+		smUsed = g.SMs
+	}
+	pad := 1 - s.FLOPs()/kc.PaddedFLOPs
+	if pad < 0 {
+		pad = 0
+	}
+	return TileAnalysis{
+		Shape:        s,
+		Config:       cfg,
+		ABlockTiles:  [2]int{ceilDiv(s.M, cfg.BM), ceilDiv(s.K, cfg.BK)},
+		BBlockTiles:  [2]int{ceilDiv(s.K, cfg.BK), ceilDiv(s.N, cfg.BN)},
+		AWarpTiles:   [2]int{cfg.BM / cfg.WM, cfg.BK / cfg.WK},
+		BWarpTiles:   [2]int{cfg.BK / cfg.WK, cfg.BN / cfg.WN},
+		ThreadBlocks: kc.Blocks,
+		SMsUsed:      smUsed,
+		SMsTotal:     g.SMs,
+		GlobalBytes:  kc.HBMBytes,
+		SharedBytes:  kc.TileLoads,
+		PaddingFrac:  pad,
+	}, nil
+}
+
+// String renders the analysis in the style of the paper's Fig. 12
+// annotations.
+func (t TileAnalysis) String() string {
+	return fmt.Sprintf(
+		"shape %v cfg %v: A tiles (%dx%d), B tiles (%dx%d), warp tiles (%dx%d)x(%dx%d), "+
+			"blocks=%d, SMs %d/%d, global=%.1f MB, shared=%.1f MB, padding=%.1f%%",
+		t.Shape, t.Config,
+		t.ABlockTiles[0], t.ABlockTiles[1], t.BBlockTiles[0], t.BBlockTiles[1],
+		t.AWarpTiles[0], t.AWarpTiles[1], t.BWarpTiles[0], t.BWarpTiles[1],
+		t.ThreadBlocks, t.SMsUsed, t.SMsTotal,
+		float64(t.GlobalBytes)/(1<<20), float64(t.SharedBytes)/(1<<20), 100*t.PaddingFrac)
+}

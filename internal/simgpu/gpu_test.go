@@ -1,0 +1,88 @@
+package simgpu
+
+import (
+	"testing"
+	"time"
+)
+
+func TestA100Preset(t *testing.T) {
+	g := A100()
+	if g.SMs != 108 {
+		t.Errorf("A100 SMs = %d, want 108", g.SMs)
+	}
+	if g.TensorTFLOPS != 312 {
+		t.Errorf("A100 tensor peak = %v, want 312", g.TensorTFLOPS)
+	}
+	if g.MemoryBytes != 80<<30 {
+		t.Errorf("A100 memory = %d, want 80 GiB", g.MemoryBytes)
+	}
+	if g.L2Bytes != 40<<20 {
+		t.Errorf("A100 L2 = %d, want 40 MiB", g.L2Bytes)
+	}
+}
+
+func TestA10Smaller(t *testing.T) {
+	a100, a10 := A100(), A10()
+	if a10.SMs >= a100.SMs || a10.TensorTFLOPS >= a100.TensorTFLOPS || a10.HBMBandwidth >= a100.HBMBandwidth {
+		t.Fatal("A10 should be strictly smaller than A100")
+	}
+}
+
+func TestHostToDeviceCalibration(t *testing.T) {
+	g := A100()
+	// §3.1 calibration points: ~520 ms for a 1.4 GB model, ~110 ms for
+	// 300 MB, and an order of magnitude less for a pinned adapter.
+	oscar := g.HostToDevice(1400 << 20)
+	if oscar < 450*time.Millisecond || oscar > 600*time.Millisecond {
+		t.Errorf("1.4 GB pageable copy = %v, want ~520 ms", oscar)
+	}
+	yolo := g.HostToDevice(300 << 20)
+	if yolo < 90*time.Millisecond || yolo > 130*time.Millisecond {
+		t.Errorf("300 MB pageable copy = %v, want ~110 ms", yolo)
+	}
+	adapter := g.HostToDevicePinned(128 << 20)
+	if adapter > 20*time.Millisecond {
+		t.Errorf("pinned adapter copy = %v, want tens of ms at most", adapter)
+	}
+	if adapter >= yolo {
+		t.Error("adapter swap must be far cheaper than a small-model swap")
+	}
+}
+
+func TestCopyHelpersMonotonic(t *testing.T) {
+	g := A100()
+	if g.HostToDevice(0) != 0 || g.DeviceCopy(0) != 0 || g.MemTouch(0) != 0 || g.HostToDevicePinned(0) != 0 {
+		t.Fatal("zero-byte copies must cost zero")
+	}
+	if g.HostToDevice(1<<30) <= g.HostToDevice(1<<20) {
+		t.Fatal("larger copies must cost more")
+	}
+	if g.DeviceCopy(1<<30) <= g.MemTouch(1<<30) {
+		t.Fatal("copy (read+write) must exceed a single-stream touch")
+	}
+}
+
+func TestPinnedFasterThanPageable(t *testing.T) {
+	g := A100()
+	n := int64(256 << 20)
+	if g.HostToDevicePinned(n) >= g.HostToDevice(n) {
+		t.Fatal("pinned path must beat pageable path")
+	}
+}
+
+func TestPinnedFallsBackWithoutBandwidth(t *testing.T) {
+	g := A100()
+	g.PinnedBandwidth = 0
+	if g.HostToDevicePinned(1<<20) != g.HostToDevice(1<<20) {
+		t.Fatal("zero pinned bandwidth should fall back to pageable")
+	}
+}
+
+func TestCoreClassString(t *testing.T) {
+	if TensorCore.String() != "tensor-core" || CUDACore.String() != "cuda-core" {
+		t.Fatal("core class names changed")
+	}
+	if CoreClass(42).String() == "" {
+		t.Fatal("unknown core class should still render")
+	}
+}

@@ -1,0 +1,82 @@
+package tensor
+
+import "math"
+
+// SoftmaxRows applies a numerically stable softmax to each row of
+// logits, returning a new matrix of probabilities.
+func SoftmaxRows(logits *Matrix) *Matrix {
+	out := New(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		max := math.Inf(-1)
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		orow := out.Row(i)
+		for j, v := range row {
+			e := math.Exp(v - max)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	return out
+}
+
+// CrossEntropy computes the mean negative log-likelihood of labels
+// under the row-softmax of logits, along with the gradient
+// d(loss)/d(logits) (already divided by the batch size).
+func CrossEntropy(logits *Matrix, labels []int) (loss float64, grad *Matrix) {
+	if len(labels) != logits.Rows {
+		panic("tensor: CrossEntropy label count mismatch")
+	}
+	probs := SoftmaxRows(logits)
+	grad = probs.Clone()
+	n := float64(logits.Rows)
+	for i, y := range labels {
+		p := probs.At(i, y)
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		grad.Set(i, y, grad.At(i, y)-1)
+	}
+	grad.Scale(1 / n)
+	return loss / n, grad
+}
+
+// Argmax returns the index of the largest value in each row.
+func Argmax(m *Matrix) []int {
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		best, bi := math.Inf(-1), 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// Accuracy reports the fraction of rows whose argmax equals the label.
+func Accuracy(logits *Matrix, labels []int) float64 {
+	if logits.Rows == 0 {
+		return 0
+	}
+	pred := Argmax(logits)
+	correct := 0
+	for i, y := range labels {
+		if pred[i] == y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

@@ -1,0 +1,117 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		logits := Randn(rng, 4, 7, 3)
+		probs := SoftmaxRows(logits)
+		for i := 0; i < probs.Rows; i++ {
+			var sum float64
+			for _, v := range probs.Row(i) {
+				if v < 0 || v > 1 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	logits := FromRows([][]float64{{1000, 1001, 999}})
+	probs := SoftmaxRows(logits)
+	var sum float64
+	for _, v := range probs.Row(0) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("softmax overflowed on large logits")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("softmax row sums to %v", sum)
+	}
+}
+
+func TestCrossEntropyKnownValue(t *testing.T) {
+	// Uniform logits over 4 classes → loss = ln(4).
+	logits := New(2, 4)
+	loss, grad := CrossEntropy(logits, []int{0, 3})
+	if math.Abs(loss-math.Log(4)) > 1e-9 {
+		t.Fatalf("loss = %v, want ln(4)", loss)
+	}
+	// Gradient rows sum to zero (softmax minus one-hot, / batch).
+	for i := 0; i < grad.Rows; i++ {
+		var sum float64
+		for _, v := range grad.Row(i) {
+			sum += v
+		}
+		if math.Abs(sum) > 1e-9 {
+			t.Fatalf("gradient row %d sums to %v, want 0", i, sum)
+		}
+	}
+}
+
+func TestCrossEntropyNumericalGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	logits := Randn(rng, 3, 5, 1)
+	labels := []int{1, 4, 0}
+	_, grad := CrossEntropy(logits, labels)
+
+	const eps = 1e-6
+	for i := range logits.Data {
+		lp := logits.Clone()
+		lp.Data[i] += eps
+		lm := logits.Clone()
+		lm.Data[i] -= eps
+		up, _ := CrossEntropy(lp, labels)
+		um, _ := CrossEntropy(lm, labels)
+		numeric := (up - um) / (2 * eps)
+		if math.Abs(grad.Data[i]-numeric) > 1e-5 {
+			t.Fatalf("CE gradient mismatch at %d: %v vs %v", i, grad.Data[i], numeric)
+		}
+	}
+}
+
+func TestCrossEntropyLabelMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("label count mismatch should panic")
+		}
+	}()
+	CrossEntropy(New(2, 3), []int{0})
+}
+
+func TestArgmaxAndAccuracy(t *testing.T) {
+	logits := FromRows([][]float64{
+		{0.1, 0.9, 0.0},
+		{2.0, 1.0, 0.0},
+		{0.0, 0.0, 5.0},
+	})
+	pred := Argmax(logits)
+	want := []int{1, 0, 2}
+	for i := range want {
+		if pred[i] != want[i] {
+			t.Fatalf("argmax = %v, want %v", pred, want)
+		}
+	}
+	if acc := Accuracy(logits, []int{1, 0, 0}); math.Abs(acc-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy = %v, want 2/3", acc)
+	}
+	if Accuracy(New(0, 3), nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}

@@ -1,0 +1,112 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"valora/internal/tensor"
+)
+
+// Dataset is one domain's labelled data (e.g. "traffic-sign
+// detection" or "aerial scene classification"): Gaussian class
+// clusters in the task's input space, split into train and test sets.
+type Dataset struct {
+	Task    TaskType
+	Domain  string
+	Classes int
+
+	TrainX *tensor.Matrix
+	TrainY []int
+	TestX  *tensor.Matrix
+	TestY  []int
+}
+
+func (d *Dataset) String() string {
+	return fmt.Sprintf("%s/%s (%d classes, %d train, %d test)",
+		d.Task, d.Domain, d.Classes, len(d.TrainY), len(d.TestY))
+}
+
+// GenDataset synthesizes one domain dataset for a task. Domains of the
+// same task share the task's geometry but draw independent class
+// means; the seed makes generation deterministic.
+func GenDataset(task TaskType, domain string, seed int64) *Dataset {
+	p := ProfileFor(task)
+	rng := rand.New(rand.NewSource(seed))
+
+	// Task-shared class means: with DomainCorrelation > 0 every domain
+	// of the task reuses (a blend of) the same underlying concepts with
+	// shuffled labels, so fused domains genuinely compete for the
+	// adapter's capacity.
+	sharedRng := rand.New(rand.NewSource(9000 + int64(task)))
+	shared := make([][]float64, p.Classes)
+	for c := range shared {
+		mean := make([]float64, p.InputDim)
+		for j := range mean {
+			mean[j] = sharedRng.NormFloat64() * p.Spread
+		}
+		shared[c] = mean
+	}
+	perm := rng.Perm(p.Classes)
+
+	means := make([][]float64, p.Classes)
+	for c := range means {
+		mean := make([]float64, p.InputDim)
+		corr := p.DomainCorrelation
+		for j := range mean {
+			fresh := rng.NormFloat64() * p.Spread
+			mean[j] = corr*shared[perm[c]][j] + (1-corr)*fresh
+		}
+		means[c] = mean
+	}
+
+	sample := func(perClass int) (*tensor.Matrix, []int) {
+		n := perClass * p.Classes
+		x := tensor.New(n, p.InputDim)
+		y := make([]int, n)
+		i := 0
+		for c := 0; c < p.Classes; c++ {
+			for k := 0; k < perClass; k++ {
+				row := x.Row(i)
+				for j := range row {
+					row[j] = means[c][j] + rng.NormFloat64()*p.Noise
+				}
+				y[i] = c
+				i++
+			}
+		}
+		return x, y
+	}
+
+	trainX, trainY := sample(p.TrainPerClass)
+	testX, testY := sample(p.TestPerClass)
+	return &Dataset{
+		Task: task, Domain: domain, Classes: p.Classes,
+		TrainX: trainX, TrainY: trainY, TestX: testX, TestY: testY,
+	}
+}
+
+// GenDomains synthesizes n distinct domains of a task with
+// deterministic, distinct seeds.
+func GenDomains(task TaskType, n int, baseSeed int64) []*Dataset {
+	out := make([]*Dataset, n)
+	for i := range out {
+		out[i] = GenDataset(task, fmt.Sprintf("%s-domain-%d", task, i), baseSeed+int64(i)*7919)
+	}
+	return out
+}
+
+// FewShot extracts the first k training examples of every class,
+// used to model the zero-shot readout of the base LMM.
+func (d *Dataset) FewShot(k int) (*tensor.Matrix, []int) {
+	counts := make(map[int]int)
+	var rows [][]float64
+	var labels []int
+	for i, y := range d.TrainY {
+		if counts[y] < k {
+			counts[y]++
+			rows = append(rows, d.TrainX.Row(i))
+			labels = append(labels, y)
+		}
+	}
+	return tensor.FromRows(rows), labels
+}

@@ -1,0 +1,180 @@
+package train
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Knowledge is one unit of external knowledge to integrate: a domain
+// dataset (possibly distilled from an existing small model, Fig. 9)
+// together with the vision application's accuracy floor for it.
+type Knowledge struct {
+	Dataset     *Dataset
+	RequiredAcc float64
+}
+
+// FusionStep logs one step of the fusion algorithm, mirroring the
+// walk-through of Fig. 10.
+type FusionStep struct {
+	Adapter    string
+	Domain     string
+	Accuracies map[string]float64 // accuracy of every fused domain after this step
+	Violated   []string           // domains whose floor the step broke (forces rollback)
+	RolledBack bool
+}
+
+func (s FusionStep) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fuse %s into %s:", s.Domain, s.Adapter)
+	for d, a := range s.Accuracies {
+		fmt.Fprintf(&b, " %s=%.1f%%", d, a*100)
+	}
+	if s.RolledBack {
+		fmt.Fprintf(&b, " -> ROLLBACK (violated: %s)", strings.Join(s.Violated, ", "))
+	}
+	return b.String()
+}
+
+// FusionResult is the outcome of the accuracy-aware knowledge-fusion
+// algorithm: the generated adapters, the per-domain accuracies they
+// achieve, and the step log.
+type FusionResult struct {
+	Adapters   []*Adapter
+	Accuracies map[string]float64
+	Steps      []FusionStep
+}
+
+// DomainsPerAdapter reports the mean number of fused domains per
+// generated adapter (the paper reports ≈4 in practice).
+func (r *FusionResult) DomainsPerAdapter() float64 {
+	if len(r.Adapters) == 0 {
+		return 0
+	}
+	total := 0
+	for _, a := range r.Adapters {
+		total += len(a.Domains)
+	}
+	return float64(total) / float64(len(r.Adapters))
+}
+
+// FusionOptions tunes the fusion run.
+type FusionOptions struct {
+	Rank  int
+	Train TrainOptions
+}
+
+func (o FusionOptions) withDefaults() FusionOptions {
+	if o.Rank == 0 {
+		o.Rank = 8
+	}
+	if o.Train.Seed == 0 {
+		o.Train.Seed = 1
+	}
+	return o
+}
+
+// Fuse runs the accuracy-aware knowledge-fusion algorithm (§4.2.1):
+// greedily fine-tune one adapter on each knowledge item in sequence;
+// after every fusion, measure every fused domain's accuracy; if any
+// domain falls below its required floor, roll the adapter back to its
+// pre-fusion snapshot, freeze it, and start a new adapter seeded with
+// the offending dataset. This is the greedy heuristic for the
+// constrained bin-packing formulation — worst case one adapter per
+// dataset, typically several domains per adapter.
+func Fuse(base *BaseModel, items []Knowledge, opts FusionOptions) (*FusionResult, error) {
+	opts = opts.withDefaults()
+	if len(items) == 0 {
+		return &FusionResult{Accuracies: map[string]float64{}}, nil
+	}
+
+	result := &FusionResult{Accuracies: make(map[string]float64)}
+	floors := make(map[string]float64, len(items))
+	byDomain := make(map[string]*Dataset, len(items))
+	for _, it := range items {
+		floors[it.Dataset.Domain] = it.RequiredAcc
+		byDomain[it.Dataset.Domain] = it.Dataset
+	}
+
+	newAdapter := func() *Adapter {
+		name := fmt.Sprintf("lora-%d", len(result.Adapters)+1)
+		return NewAdapter(name, base, opts.Rank, opts.Train.Seed+int64(len(result.Adapters)))
+	}
+
+	cur := newAdapter()
+	for _, it := range items {
+		ds := it.Dataset
+		snap := cur.Snapshot()
+		FineTune(base, cur, ds, opts.Train)
+
+		step := FusionStep{Adapter: cur.Name, Domain: ds.Domain, Accuracies: make(map[string]float64)}
+		for _, dom := range cur.Domains {
+			acc, err := cur.Eval(base, byDomain[dom])
+			if err != nil {
+				return nil, err
+			}
+			step.Accuracies[dom] = acc
+			if acc < floors[dom] {
+				step.Violated = append(step.Violated, dom)
+			}
+		}
+
+		if len(step.Violated) > 0 && len(cur.Domains) > 1 {
+			// Roll back and seal the adapter at its last good state,
+			// then retry this dataset on a fresh adapter.
+			step.RolledBack = true
+			result.Steps = append(result.Steps, step)
+			cur.Restore(snap)
+			result.Adapters = append(result.Adapters, cur)
+
+			cur = newAdapter()
+			FineTune(base, cur, ds, opts.Train)
+			acc, err := cur.Eval(base, ds)
+			if err != nil {
+				return nil, err
+			}
+			result.Steps = append(result.Steps, FusionStep{
+				Adapter: cur.Name, Domain: ds.Domain,
+				Accuracies: map[string]float64{ds.Domain: acc},
+			})
+			continue
+		}
+		result.Steps = append(result.Steps, step)
+	}
+	result.Adapters = append(result.Adapters, cur)
+
+	// Final per-domain accuracies from the sealed adapters.
+	for _, a := range result.Adapters {
+		for _, dom := range a.Domains {
+			acc, err := a.Eval(base, byDomain[dom])
+			if err != nil {
+				return nil, err
+			}
+			result.Accuracies[dom] = acc
+		}
+	}
+	return result, nil
+}
+
+// FusionCurve measures mean retained accuracy over all fused domains
+// as 1..n domains of one task type are fused into a single adapter —
+// the experiment behind Fig. 5. The returned slice is indexed by
+// (fused count - 1).
+func FusionCurve(base *BaseModel, task TaskType, n int, opts FusionOptions) ([]float64, error) {
+	opts = opts.withDefaults()
+	domains := GenDomains(task, n, 41+int64(task)*1000)
+	a := NewAdapter(fmt.Sprintf("curve-%s", task), base, opts.Rank, opts.Train.Seed)
+	curve := make([]float64, 0, n)
+	for i, ds := range domains {
+		FineTune(base, a, ds, opts.Train)
+		var sum float64
+		for j := 0; j <= i; j++ {
+			acc, err := a.Eval(base, domains[j])
+			if err != nil {
+				return nil, err
+			}
+			sum += acc
+		}
+		curve = append(curve, sum/float64(i+1))
+	}
+	return curve, nil
+}

@@ -1,0 +1,302 @@
+package train
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fastOpts keeps training cheap inside unit tests.
+func fastOpts() TrainOptions { return TrainOptions{Epochs: 60, LearningRate: 0.4, Seed: 1} }
+
+func TestGenDatasetDeterministic(t *testing.T) {
+	a := GenDataset(ImageClassification, "d", 42)
+	b := GenDataset(ImageClassification, "d", 42)
+	for i := range a.TrainX.Data {
+		if a.TrainX.Data[i] != b.TrainX.Data[i] {
+			t.Fatal("same seed must give identical datasets")
+		}
+	}
+	c := GenDataset(ImageClassification, "d", 43)
+	same := true
+	for i := range a.TrainX.Data {
+		if a.TrainX.Data[i] != c.TrainX.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different datasets")
+	}
+}
+
+func TestGenDatasetShapes(t *testing.T) {
+	for _, task := range AllTaskTypes() {
+		p := ProfileFor(task)
+		ds := GenDataset(task, "d", 7)
+		if ds.Classes != p.Classes {
+			t.Errorf("%v: classes %d != %d", task, ds.Classes, p.Classes)
+		}
+		if ds.TrainX.Rows != p.Classes*p.TrainPerClass || ds.TrainX.Cols != p.InputDim {
+			t.Errorf("%v: train shape %dx%d wrong", task, ds.TrainX.Rows, ds.TrainX.Cols)
+		}
+		if len(ds.TestY) != p.Classes*p.TestPerClass {
+			t.Errorf("%v: test size %d wrong", task, len(ds.TestY))
+		}
+		if ds.String() == "" {
+			t.Error("dataset string empty")
+		}
+	}
+}
+
+func TestFewShot(t *testing.T) {
+	ds := GenDataset(VisualQA, "d", 9)
+	x, y := ds.FewShot(3)
+	if x.Rows != 3*ds.Classes || len(y) != x.Rows {
+		t.Fatalf("few-shot returned %d rows, want %d", x.Rows, 3*ds.Classes)
+	}
+	counts := map[int]int{}
+	for _, label := range y {
+		counts[label]++
+	}
+	for c := 0; c < ds.Classes; c++ {
+		if counts[c] != 3 {
+			t.Fatalf("class %d has %d shots, want 3", c, counts[c])
+		}
+	}
+}
+
+func TestFineTuneImproves(t *testing.T) {
+	base := NewBaseModel("m", 24, 128, 7)
+	ds := GenDataset(ImageClassification, "d", 11)
+	a := NewAdapter("a", base, 8, 3)
+	FineTune(base, a, ds, fastOpts())
+	acc, err := a.Eval(base, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chance := 1.0 / float64(ds.Classes)
+	if acc < 3*chance {
+		t.Fatalf("fine-tuned accuracy %.2f barely above chance %.2f", acc, chance)
+	}
+}
+
+func TestZeroShotBetweenChanceAndFineTuned(t *testing.T) {
+	base := NewBaseModel("m", 24, 128, 7)
+	ds := GenDataset(ObjectDetection, "d", 13)
+	zs := ZeroShot(base, ds, 2, fastOpts())
+	a := NewAdapter("a", base, 8, 3)
+	FineTune(base, a, ds, fastOpts())
+	ft, _ := a.Eval(base, ds)
+	chance := 1.0 / float64(ds.Classes)
+	if zs <= chance {
+		t.Fatalf("zero-shot %.2f at or below chance %.2f", zs, chance)
+	}
+	if ft <= zs {
+		t.Fatalf("fine-tuned %.2f should beat zero-shot %.2f (Fig. 4)", ft, zs)
+	}
+}
+
+func TestHeadOnlyBeatsFewShot(t *testing.T) {
+	base := NewBaseModel("m", 24, 128, 7)
+	ds := GenDataset(VisualQA, "d", 17)
+	few := ZeroShot(base, ds, 1, fastOpts())
+	full := HeadOnly(base, ds, fastOpts())
+	if full <= few {
+		t.Fatalf("full-data head (%.2f) should beat 1-shot head (%.2f)", full, few)
+	}
+}
+
+func TestSmallModelLearnsOwnDomainAndFailsAcross(t *testing.T) {
+	ds := GenDataset(ObjectDetection, "src", 19)
+	other := GenDataset(ObjectDetection, "dst", 23)
+	p := ProfileFor(ObjectDetection)
+	sm := NewSmallModel("s", p.InputDim, p.SmallHidden, ds.Classes, p.SmallBytes, 5)
+	TrainSmallModel(sm, ds, fastOpts())
+	own := sm.Eval(ds)
+	cross := CrossDomain(sm, other)
+	if own < 0.5 {
+		t.Fatalf("small model own-domain accuracy %.2f too low", own)
+	}
+	if cross >= own {
+		t.Fatalf("cross-domain accuracy %.2f should collapse below own-domain %.2f (Fig. 3)", cross, own)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	base := NewBaseModel("m", 24, 64, 7)
+	ds := GenDataset(ImageClassification, "d", 29)
+	a := NewAdapter("a", base, 8, 3)
+	FineTune(base, a, ds, fastOpts())
+	snap := a.Snapshot()
+	before, _ := a.Eval(base, ds)
+
+	other := GenDataset(ImageClassification, "d2", 31)
+	FineTune(base, a, other, fastOpts())
+	a.Restore(snap)
+	after, err := a.Eval(base, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("restore did not recover the snapshot: %.4f vs %.4f", before, after)
+	}
+	if len(a.Domains) != 1 {
+		t.Fatalf("restored adapter has %d domains, want 1", len(a.Domains))
+	}
+}
+
+func TestAdapterEvalUnknownDomain(t *testing.T) {
+	base := NewBaseModel("m", 24, 64, 7)
+	ds := GenDataset(ImageClassification, "d", 29)
+	a := NewAdapter("a", base, 8, 3)
+	if _, err := a.Eval(base, ds); err == nil {
+		t.Fatal("evaluating an unfused domain should error")
+	}
+}
+
+func TestSequentialFusionForgets(t *testing.T) {
+	base := NewBaseModel("m", 24, 128, 7)
+	domains := GenDomains(VideoClassification, 4, 41)
+	a := NewAdapter("a", base, 8, 3)
+	FineTune(base, a, domains[0], fastOpts())
+	first, _ := a.Eval(base, domains[0])
+	for _, ds := range domains[1:] {
+		FineTune(base, a, ds, fastOpts())
+	}
+	later, _ := a.Eval(base, domains[0])
+	if later >= first {
+		t.Fatalf("no forgetting measured on video: %.2f -> %.2f", first, later)
+	}
+}
+
+func TestFusionCurveShape(t *testing.T) {
+	base := NewBaseModel("m", 24, 128, 7)
+	curve, err := FusionCurve(base, ImageClassification, 3, FusionOptions{Rank: 8, Train: fastOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("curve length %d, want 3", len(curve))
+	}
+	for i, v := range curve {
+		if v <= 0 || v > 1 {
+			t.Fatalf("curve[%d] = %v out of (0,1]", i, v)
+		}
+	}
+}
+
+func TestFuseRespectsFloorsAndRollsBack(t *testing.T) {
+	base := NewBaseModel("m", 24, 128, 7)
+	domains := GenDomains(ObjectDetection, 4, 301)
+	items := make([]Knowledge, len(domains))
+	for i, ds := range domains {
+		items[i] = Knowledge{Dataset: ds, RequiredAcc: 0.60}
+	}
+	res, err := Fuse(base, items, FusionOptions{Rank: 8, Train: fastOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Adapters) == 0 || len(res.Steps) == 0 {
+		t.Fatal("fusion produced nothing")
+	}
+	total := 0
+	for _, a := range res.Adapters {
+		total += len(a.Domains)
+	}
+	if total != len(domains) {
+		t.Fatalf("fused %d domains, want %d", total, len(domains))
+	}
+	// With an impossible floor, fusion degenerates to one adapter per
+	// dataset (the worst case the paper notes).
+	for i := range items {
+		items[i].RequiredAcc = 0.999
+		items[i].Dataset = GenDataset(ObjectDetection, items[i].Dataset.Domain, 301+int64(i)*7919)
+	}
+	strict, err := Fuse(base, items, FusionOptions{Rank: 8, Train: fastOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict.Adapters) < len(res.Adapters) {
+		t.Fatalf("stricter floors produced fewer adapters (%d < %d)", len(strict.Adapters), len(res.Adapters))
+	}
+	if strict.DomainsPerAdapter() > res.DomainsPerAdapter() {
+		t.Fatal("stricter floors should not fuse more domains per adapter")
+	}
+}
+
+func TestFuseEmpty(t *testing.T) {
+	base := NewBaseModel("m", 24, 64, 7)
+	res, err := Fuse(base, nil, FusionOptions{})
+	if err != nil || len(res.Adapters) != 0 {
+		t.Fatalf("empty fusion should be a no-op, got %v err %v", res, err)
+	}
+}
+
+func TestDecodeRounds(t *testing.T) {
+	if got := DecodeRounds(VideoClassification, VisionHead); got != 1 {
+		t.Fatalf("vision head rounds = %d, want 1", got)
+	}
+	lm := DecodeRounds(VideoClassification, LMHead)
+	if lm != ProfileFor(VideoClassification).AnswerTokens+1 {
+		t.Fatalf("LM head rounds = %d, want answer+eos", lm)
+	}
+	if !SupportsVisionHead(ObjectDetection) || SupportsVisionHead(ImageCaptioning) {
+		t.Fatal("vision-head support matrix wrong")
+	}
+	if VisionHead.String() == LMHead.String() {
+		t.Fatal("head kinds must render differently")
+	}
+}
+
+func TestTaskTypeStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, task := range AllTaskTypes() {
+		s := task.String()
+		if s == "" || s == "unknown-task" || seen[s] {
+			t.Fatalf("bad task name %q", s)
+		}
+		seen[s] = true
+	}
+	if TaskType(99).String() != "unknown-task" {
+		t.Fatal("unknown task should render as unknown")
+	}
+}
+
+func TestDomainCorrelationIncreasesInterference(t *testing.T) {
+	// Video (correlated domains) should retain less accuracy across a
+	// fusion sequence than image classification (independent domains)
+	// — the Fig. 5 contrast. Uses the full task profiles, so this is
+	// the slowest test in the package.
+	base := NewBaseModel("m", 24, 128, 7)
+	retained := func(task TaskType) float64 {
+		curve, err := FusionCurve(base, task, 4, FusionOptions{Rank: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return curve[len(curve)-1] / curve[0]
+	}
+	video := retained(VideoClassification)
+	image := retained(ImageClassification)
+	if video >= image {
+		t.Fatalf("video should retain less than image across fusions: video %.3f vs image %.3f", video, image)
+	}
+}
+
+func TestFusionStepString(t *testing.T) {
+	step := FusionStep{Adapter: "a", Domain: "d", Accuracies: map[string]float64{"d": 0.9}, RolledBack: true, Violated: []string{"d"}}
+	if step.String() == "" {
+		t.Fatal("step string empty")
+	}
+}
+
+func TestProfileProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		task := TaskType(int(raw) % int(numTaskTypes))
+		p := ProfileFor(task)
+		return p.Classes > 1 && p.InputDim > 0 && p.Noise > 0 && p.Epochs > 0 &&
+			p.TrainPerClass > 0 && p.TestPerClass > 0 && p.AnswerTokens > 0 && p.SmallHidden > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package train
+
+import (
+	"math/rand"
+
+	"valora/internal/tensor"
+)
+
+// TrainOptions tunes a fine-tuning run. Zero values select the task
+// profile's defaults.
+type TrainOptions struct {
+	Epochs       int
+	LearningRate float64
+	Seed         int64
+}
+
+func (o TrainOptions) withDefaults(p Profile) TrainOptions {
+	if o.Epochs == 0 {
+		o.Epochs = p.Epochs
+	}
+	if o.LearningRate == 0 {
+		o.LearningRate = p.LearningRate
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// FineTune trains the adapter (A, B and the domain's head) on one
+// domain dataset with full-batch gradient descent on the softmax
+// cross-entropy, keeping the base model frozen — the standard LoRA
+// supervised pipeline of Fig. 9. Heads of previously fused domains
+// are left untouched, so any accuracy they lose comes from drift of
+// the shared low-rank weights: real catastrophic forgetting.
+func FineTune(base *BaseModel, a *Adapter, ds *Dataset, opts TrainOptions) float64 {
+	p := ProfileFor(ds.Task)
+	opts = opts.withDefaults(p)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	head, ok := a.Heads[ds.Domain]
+	if !ok {
+		head = tensor.Randn(rng, ds.Classes, base.FeatureDim, 0.1)
+		a.Heads[ds.Domain] = head
+		a.Tasks[ds.Domain] = ds.Task
+		a.Domains = append(a.Domains, ds.Domain)
+	}
+
+	x, y := ds.TrainX, ds.TrainY
+	lr := opts.LearningRate
+	var loss float64
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		w := a.effectiveWeight(base) // FeatureDim × InputDim
+		z := tensor.MatMulT(x, w)    // n × FeatureDim
+		act := z.Clone().Tanh()
+		logits := tensor.MatMulT(act, head)
+
+		var dLogits *tensor.Matrix
+		loss, dLogits = tensor.CrossEntropy(logits, y)
+
+		dHead := tensor.TMatMul(dLogits, act) // classes × feat
+		dAct := tensor.MatMul(dLogits, head)  // n × feat
+		dZ := tensor.TanhBackward(dAct, act)  // n × feat
+		dW := tensor.TMatMul(dZ, x)           // feat × in
+		dA := tensor.TMatMul(a.B, dW)         // (feat×rank)ᵀ·(feat×in) = rank × in
+		dB := tensor.MatMulT(dW, a.A)         // (feat×in)·(rank×in)ᵀ = feat × rank
+
+		tensor.AXPY(-lr, dHead, head)
+		tensor.AXPY(-lr, dA, a.A)
+		tensor.AXPY(-lr, dB, a.B)
+	}
+	return loss
+}
+
+// TrainSmallModel trains a small model end-to-end on its domain.
+func TrainSmallModel(s *SmallModel, ds *Dataset, opts TrainOptions) float64 {
+	p := ProfileFor(ds.Task)
+	opts = opts.withDefaults(p)
+
+	x, y := ds.TrainX, ds.TrainY
+	lr := opts.LearningRate
+	var loss float64
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		h := tensor.MatMulT(x, s.W1).Tanh()
+		logits := tensor.MatMulT(h, s.W2)
+
+		var dLogits *tensor.Matrix
+		loss, dLogits = tensor.CrossEntropy(logits, y)
+
+		dW2 := tensor.TMatMul(dLogits, h)
+		dH := tensor.MatMul(dLogits, s.W2)
+		dZ := tensor.TanhBackward(dH, h)
+		dW1 := tensor.TMatMul(dZ, x)
+
+		tensor.AXPY(-lr, dW2, s.W2)
+		tensor.AXPY(-lr, dW1, s.W1)
+	}
+	return loss
+}
+
+// ZeroShot models the base LMM answering a domain without any adapter:
+// a linear readout fitted on a handful of labelled examples (the
+// analogue of prompting the frozen model), evaluated on the test set.
+// Generality comes entirely from the frozen feature space.
+func ZeroShot(base *BaseModel, ds *Dataset, shots int, opts TrainOptions) float64 {
+	p := ProfileFor(ds.Task)
+	opts = opts.withDefaults(p)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	fsX, fsY := ds.FewShot(shots)
+	feat := base.Features(fsX)
+	head := tensor.Randn(rng, ds.Classes, base.FeatureDim, 0.1)
+	for epoch := 0; epoch < opts.Epochs/3; epoch++ {
+		logits := tensor.MatMulT(feat, head)
+		_, dLogits := tensor.CrossEntropy(logits, fsY)
+		dHead := tensor.TMatMul(dLogits, feat)
+		tensor.AXPY(-opts.LearningRate, dHead, head)
+	}
+	testFeat := base.Features(ds.TestX)
+	return tensor.Accuracy(tensor.MatMulT(testFeat, head), ds.TestY)
+}
+
+// HeadOnly fits a linear readout on the full training set with the
+// base model frozen and no adapter — the analogue of an LMM whose
+// pre-training already covered the task distribution (e.g. Qwen-VL on
+// VQA in Fig. 3(b)), as opposed to the few-shot ZeroShot condition.
+func HeadOnly(base *BaseModel, ds *Dataset, opts TrainOptions) float64 {
+	p := ProfileFor(ds.Task)
+	opts = opts.withDefaults(p)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	feat := base.Features(ds.TrainX)
+	head := tensor.Randn(rng, ds.Classes, base.FeatureDim, 0.1)
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		logits := tensor.MatMulT(feat, head)
+		_, dLogits := tensor.CrossEntropy(logits, ds.TrainY)
+		dHead := tensor.TMatMul(dLogits, feat)
+		tensor.AXPY(-opts.LearningRate, dHead, head)
+	}
+	testFeat := base.Features(ds.TestX)
+	return tensor.Accuracy(tensor.MatMulT(testFeat, head), ds.TestY)
+}
+
+// CrossDomain evaluates a small model trained on one domain against a
+// different domain of the same task — the zero-shot condition for
+// conventional models in Fig. 3 (YOLO on unseen remote-sensing
+// imagery).
+func CrossDomain(s *SmallModel, target *Dataset) float64 {
+	return s.Eval(target)
+}

@@ -1,0 +1,254 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"valora/internal/sched"
+	"valora/internal/train"
+)
+
+// traceHeader is the column layout of the CSV trace format written by
+// WriteCSV and cmd/tracegen.
+var traceHeader = []string{
+	"id", "arrival_ms", "app", "task", "adapter",
+	"input_tokens", "output_tokens", "images", "image_id", "deadline_ms",
+}
+
+// WriteCSV serializes a trace in the repository's CSV format.
+func WriteCSV(w io.Writer, t Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return err
+	}
+	for _, r := range t {
+		rec := []string{
+			strconv.FormatInt(r.ID, 10),
+			strconv.FormatFloat(float64(r.Arrival)/float64(time.Millisecond), 'f', 3, 64),
+			r.App.String(),
+			r.Task.String(),
+			strconv.Itoa(r.AdapterID),
+			strconv.Itoa(r.InputTokens),
+			strconv.Itoa(r.OutputTokens),
+			strconv.Itoa(r.Images),
+			r.ImageID,
+			strconv.FormatFloat(float64(r.Deadline)/float64(time.Millisecond), 'f', 0, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func parseApp(s string) (sched.AppType, error) {
+	switch s {
+	case sched.VisualRetrieval.String():
+		return sched.VisualRetrieval, nil
+	case sched.VideoAnalytics.String():
+		return sched.VideoAnalytics, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown app %q", s)
+	}
+}
+
+func parseTask(s string) (train.TaskType, error) {
+	for _, t := range train.AllTaskTypes() {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown task %q", s)
+}
+
+// ReadCSV parses a trace previously written by WriteCSV. The result is
+// sorted by arrival time.
+func ReadCSV(r io.Reader) (Trace, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("workload: empty trace file")
+	}
+	if len(records[0]) != len(traceHeader) || records[0][0] != "id" {
+		return nil, fmt.Errorf("workload: unexpected trace header %v", records[0])
+	}
+	var out Trace
+	for i, rec := range records[1:] {
+		line := i + 2
+		fail := func(err error) (Trace, error) {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return fail(err)
+		}
+		arrivalMS, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return fail(err)
+		}
+		app, err := parseApp(rec[2])
+		if err != nil {
+			return fail(err)
+		}
+		task, err := parseTask(rec[3])
+		if err != nil {
+			return fail(err)
+		}
+		adapter, err := strconv.Atoi(rec[4])
+		if err != nil {
+			return fail(err)
+		}
+		input, err := strconv.Atoi(rec[5])
+		if err != nil {
+			return fail(err)
+		}
+		output, err := strconv.Atoi(rec[6])
+		if err != nil {
+			return fail(err)
+		}
+		images, err := strconv.Atoi(rec[7])
+		if err != nil {
+			return fail(err)
+		}
+		deadlineMS, err := strconv.ParseFloat(rec[9], 64)
+		if err != nil {
+			return fail(err)
+		}
+		head := train.LMHead
+		if output == 1 {
+			head = train.VisionHead
+		}
+		out = append(out, &sched.Request{
+			ID:           id,
+			App:          app,
+			Task:         task,
+			AdapterID:    adapter,
+			Head:         head,
+			InputTokens:  input,
+			OutputTokens: output,
+			Images:       images,
+			ImageID:      rec[8],
+			Arrival:      time.Duration(arrivalMS * float64(time.Millisecond)),
+			Deadline:     time.Duration(deadlineMS * float64(time.Millisecond)),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
+	return out, nil
+}
+
+// AzureRecord is one row of an Azure-LLM-inference-style trace export:
+// an arrival timestamp with prompt and generation token counts. The
+// public dataset carries no adapter identity, so replays assign
+// adapters from a skewed popularity distribution, like the paper's
+// round-robin subsampling (§6.1).
+type AzureRecord struct {
+	Timestamp    time.Duration
+	InputTokens  int
+	OutputTokens int
+}
+
+// ReadAzureCSV parses a minimal Azure-trace-style CSV with a header of
+// at least (timestamp_ms, input_tokens, output_tokens). Extra columns
+// are ignored.
+func ReadAzureCSV(r io.Reader) ([]AzureRecord, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading azure trace: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("workload: azure trace needs a header and rows")
+	}
+	col := map[string]int{}
+	for i, name := range records[0] {
+		col[name] = i
+	}
+	for _, need := range []string{"timestamp_ms", "input_tokens", "output_tokens"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("workload: azure trace missing column %q", need)
+		}
+	}
+	var out []AzureRecord
+	for i, rec := range records[1:] {
+		ts, err := strconv.ParseFloat(rec[col["timestamp_ms"]], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: azure line %d: %w", i+2, err)
+		}
+		in, err := strconv.Atoi(rec[col["input_tokens"]])
+		if err != nil {
+			return nil, fmt.Errorf("workload: azure line %d: %w", i+2, err)
+		}
+		outTok, err := strconv.Atoi(rec[col["output_tokens"]])
+		if err != nil {
+			return nil, fmt.Errorf("workload: azure line %d: %w", i+2, err)
+		}
+		out = append(out, AzureRecord{
+			Timestamp:    time.Duration(ts * float64(time.Millisecond)),
+			InputTokens:  in,
+			OutputTokens: outTok,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Timestamp < out[j].Timestamp })
+	return out, nil
+}
+
+// FromAzure turns Azure records into a visual-retrieval trace:
+// arrivals subsampled to targetRate (the paper notes the full trace
+// exceeds single-GPU capacity), each request tagged with an image and
+// an adapter drawn from the skewed popularity distribution.
+func FromAzure(records []AzureRecord, targetRate float64, adapters int, skew float64, seed int64) Trace {
+	if len(records) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	picker := NewSkewedPicker(adapters, skew, rng)
+
+	span := records[len(records)-1].Timestamp - records[0].Timestamp
+	if span <= 0 {
+		span = time.Second
+	}
+	nativeRate := float64(len(records)) / span.Seconds()
+	keep := 1.0
+	if targetRate > 0 && nativeRate > targetRate {
+		keep = targetRate / nativeRate
+	}
+
+	var out Trace
+	var id int64
+	start := records[0].Timestamp
+	for _, rec := range records {
+		if rng.Float64() > keep {
+			continue
+		}
+		id++
+		out = append(out, &sched.Request{
+			ID:           id,
+			App:          sched.VisualRetrieval,
+			Task:         train.VisualQA,
+			AdapterID:    picker.Pick(),
+			Head:         train.LMHead,
+			InputTokens:  max(rec.InputTokens, 1),
+			OutputTokens: max(rec.OutputTokens, 1),
+			Images:       1,
+			Arrival:      rec.Timestamp - start,
+		})
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	orig := GenRetrieval(DefaultRetrieval(3, 10*time.Second, 8, 0.6, 5))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(orig) {
+		t.Fatalf("round trip lost requests: %d vs %d", len(loaded), len(orig))
+	}
+	for i := range orig {
+		a, b := orig[i], loaded[i]
+		if a.ID != b.ID || a.AdapterID != b.AdapterID || a.InputTokens != b.InputTokens ||
+			a.OutputTokens != b.OutputTokens || a.Images != b.Images || a.ImageID != b.ImageID ||
+			a.App != b.App || a.Task != b.Task {
+			t.Fatalf("request %d mismatch:\n%+v\n%+v", i, a, b)
+		}
+		if d := a.Arrival - b.Arrival; d > time.Millisecond || d < -time.Millisecond {
+			t.Fatalf("request %d arrival drifted %v", i, d)
+		}
+	}
+}
+
+func TestVideoTraceCSVRoundTrip(t *testing.T) {
+	orig := GenVideo(DefaultVideo(2, 5*time.Second, 4, 0.6, 5))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if orig[i].Deadline != loaded[i].Deadline {
+			t.Fatalf("deadline lost at %d: %v vs %v", i, orig[i].Deadline, loaded[i].Deadline)
+		}
+		if orig[i].Head != loaded[i].Head {
+			t.Fatalf("head kind lost at %d (single-round requests map back to the vision head)", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus,header\n1,2\n",
+		"id,arrival_ms,app,task,adapter,input_tokens,output_tokens,images,image_id,deadline_ms\nx,1,visual-retrieval,visual-qa,0,1,1,0,,0\n",
+		"id,arrival_ms,app,task,adapter,input_tokens,output_tokens,images,image_id,deadline_ms\n1,1,not-an-app,visual-qa,0,1,1,0,,0\n",
+		"id,arrival_ms,app,task,adapter,input_tokens,output_tokens,images,image_id,deadline_ms\n1,1,visual-retrieval,not-a-task,0,1,1,0,,0\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: malformed trace should error", i)
+		}
+	}
+}
+
+const azureSample = `timestamp_ms,input_tokens,output_tokens,extra
+0,300,120,x
+250,600,80,y
+500,200,200,z
+1000,900,50,w
+`
+
+func TestReadAzureCSV(t *testing.T) {
+	recs, err := ReadAzureCSV(strings.NewReader(azureSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("parsed %d records, want 4", len(recs))
+	}
+	if recs[1].Timestamp != 250*time.Millisecond || recs[1].InputTokens != 600 {
+		t.Fatalf("record parsed wrong: %+v", recs[1])
+	}
+}
+
+func TestReadAzureCSVErrors(t *testing.T) {
+	for i, c := range []string{
+		"",
+		"a,b\n1,2\n",
+		"timestamp_ms,input_tokens,output_tokens\nnot-a-number,1,1\n",
+	} {
+		if _, err := ReadAzureCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestFromAzure(t *testing.T) {
+	recs, err := ReadAzureCSV(strings.NewReader(azureSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := FromAzure(recs, 0, 8, 0.6, 1) // no subsampling
+	if len(trace) != 4 {
+		t.Fatalf("replayed %d requests, want 4", len(trace))
+	}
+	if trace[0].Arrival != 0 {
+		t.Fatal("replay should rebase arrivals to zero")
+	}
+	for _, r := range trace {
+		if r.AdapterID < 0 || r.AdapterID >= 8 || r.InputTokens <= 0 || r.OutputTokens <= 0 {
+			t.Fatalf("bad replayed request %+v", r)
+		}
+	}
+	if FromAzure(nil, 1, 4, 0.5, 1) != nil {
+		t.Fatal("empty records should produce an empty trace")
+	}
+}
+
+func TestFromAzureSubsamples(t *testing.T) {
+	// 1000 records over 10 s = 100 req/s native; ask for ~10 req/s.
+	recs := make([]AzureRecord, 1000)
+	for i := range recs {
+		recs[i] = AzureRecord{Timestamp: time.Duration(i) * 10 * time.Millisecond, InputTokens: 100, OutputTokens: 10}
+	}
+	trace := FromAzure(recs, 10, 8, 0.5, 3)
+	if len(trace) < 50 || len(trace) > 200 {
+		t.Fatalf("subsampled to %d requests, want ~100", len(trace))
+	}
+}

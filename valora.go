@@ -1,0 +1,247 @@
+// Package valora is a self-contained Go reproduction of "Empower
+// Vision Applications with LoRA LMM" (EuroSys 2025): an end-to-end
+// LoRA-LMM serving system — accuracy-aware LoRA adapter generation,
+// the adaptive-tiling ATMM batching operator, and the flexible
+// merge/mixture/unmerge orchestrator — built over an analytic GPU
+// cost model so the full system runs on a laptop in virtual time.
+//
+// The package is a facade over the internal substrates:
+//
+//   - Generate integrates external knowledge (domain datasets) into
+//     the minimum number of LoRA adapters under accuracy floors
+//     (§4.2's knowledge-fusion algorithm), returning trained adapters
+//     with measured accuracies.
+//   - New builds a serving System: the VaLoRA runtime (or one of the
+//     paper's baselines) on a simulated A100 around a chosen LMM.
+//   - System.Serve replays a workload trace through the runtime and
+//     returns the serving report (average token latency, throughput,
+//     mode/switch/swap accounting).
+//   - Experiments (see RunExperiments) regenerate every table and
+//     figure of the paper's evaluation.
+//
+// A minimal end-to-end use:
+//
+//	sys, err := valora.New(valora.Config{})
+//	if err != nil { ... }
+//	trace := valora.RetrievalWorkload(6, 30*time.Second, 16, 0.6, 1)
+//	report, err := sys.Serve(trace)
+//	fmt.Println(report)
+package valora
+
+import (
+	"fmt"
+	"time"
+
+	"valora/internal/bench"
+	"valora/internal/lmm"
+	"valora/internal/lora"
+	"valora/internal/serving"
+	"valora/internal/simgpu"
+	"valora/internal/train"
+	"valora/internal/workload"
+)
+
+// Re-exported kinds and helpers so callers need only this package.
+type (
+	// SystemKind selects which serving system to build (VaLoRA or a
+	// baseline).
+	SystemKind = serving.SystemKind
+	// Report is a serving run's result.
+	Report = serving.Report
+	// Trace is a workload of requests.
+	Trace = workload.Trace
+	// ModelConfig describes an LMM (Table 2).
+	ModelConfig = lmm.Config
+	// TaskType enumerates the supported vision tasks.
+	TaskType = train.TaskType
+	// Adapter is a runtime LoRA adapter descriptor.
+	Adapter = lora.Adapter
+)
+
+// Serving systems.
+const (
+	VaLoRA SystemKind = serving.SystemVaLoRA
+	SLoRA  SystemKind = serving.SystemSLoRA
+	Punica SystemKind = serving.SystemPunica
+	DLoRA  SystemKind = serving.SystemDLoRA
+)
+
+// Vision tasks.
+const (
+	ImageClassification = train.ImageClassification
+	ObjectDetection     = train.ObjectDetection
+	VideoClassification = train.VideoClassification
+	VisualQA            = train.VisualQA
+	ImageCaptioning     = train.ImageCaptioning
+)
+
+// Model configurations from the paper's Table 2.
+func QwenVL7B() ModelConfig { return lmm.QwenVL7B() }
+func LLaVA7B() ModelConfig  { return lmm.LLaVA7B() }
+func LLaVA13B() ModelConfig { return lmm.LLaVA13B() }
+
+// Config selects what to build.
+type Config struct {
+	// System picks the runtime; default VaLoRA.
+	System SystemKind
+	// Model picks the LMM; default Qwen-VL-7B.
+	Model ModelConfig
+	// Adapters registers the adapters requests may route to; nil uses
+	// on-demand default-rank descriptors.
+	Adapters []*Adapter
+	// MaxBatch caps the per-iteration batch (default 32).
+	MaxBatch int
+	// AdapterPoolBytes bounds resident adapter memory (default 8 GiB).
+	AdapterPoolBytes int64
+	// DisablePrefixCache turns image-KV reuse off (Fig. 24 ablation).
+	DisablePrefixCache bool
+}
+
+// System is a ready-to-serve instance.
+type System struct {
+	server *serving.Server
+	kind   SystemKind
+	model  ModelConfig
+}
+
+// New builds a serving system on a simulated A100.
+func New(cfg Config) (*System, error) {
+	if cfg.System == "" {
+		cfg.System = VaLoRA
+	}
+	if cfg.Model.Layers == 0 {
+		cfg.Model = QwenVL7B()
+	}
+	opts, err := serving.SystemOptions(cfg.System, simgpu.A100(), cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxBatch > 0 {
+		opts.MaxBatch = cfg.MaxBatch
+	}
+	if cfg.AdapterPoolBytes > 0 {
+		opts.AdapterPoolBytes = cfg.AdapterPoolBytes
+	}
+	if cfg.DisablePrefixCache {
+		opts.PrefixCacheImages = 0
+	}
+	if len(cfg.Adapters) > 0 {
+		opts.Registry = lora.NewRegistry(cfg.Adapters...)
+	}
+	srv, err := serving.NewServer(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &System{server: srv, kind: cfg.System, model: cfg.Model}, nil
+}
+
+// Serve replays a trace and returns the report. A System is
+// single-shot: its clock and caches carry the run's state, so build a
+// fresh System per experiment run.
+func (s *System) Serve(trace Trace) (*Report, error) {
+	return s.server.Run(trace)
+}
+
+// RetrievalWorkload synthesizes a visual-retrieval trace (Azure-like
+// arrivals at rate req/s, adapter popularity skewed so the hottest
+// adapter receives fraction skew of requests).
+func RetrievalWorkload(rate float64, duration time.Duration, adapters int, skew float64, seed int64) Trace {
+	return workload.GenRetrieval(workload.DefaultRetrieval(rate, duration, adapters, skew, seed))
+}
+
+// VideoWorkload synthesizes a video-analytics trace (streams chunks of
+// 30 frames, one per second per stream) answered through vision task
+// heads.
+func VideoWorkload(streams int, duration time.Duration, adapters int, skew float64, seed int64) Trace {
+	return workload.GenVideo(workload.DefaultVideo(streams, duration, adapters, skew, seed))
+}
+
+// Knowledge is one domain dataset to integrate, with its accuracy
+// floor.
+type Knowledge struct {
+	Task        TaskType
+	Domain      string
+	Seed        int64
+	RequiredAcc float64
+}
+
+// GeneratedAdapter is one output of adapter generation.
+type GeneratedAdapter struct {
+	Adapter    *Adapter
+	Domains    []string
+	Accuracies map[string]float64
+}
+
+// Generate runs the accuracy-aware knowledge-fusion algorithm (§4.2):
+// it trains LoRA adapters over the given knowledge items, packing as
+// many domains per adapter as the accuracy floors allow, and returns
+// runtime adapter descriptors (with vision task heads where the task
+// supports them) plus measured per-domain accuracies.
+func Generate(model ModelConfig, items []Knowledge) ([]GeneratedAdapter, error) {
+	if model.Layers == 0 {
+		model = QwenVL7B()
+	}
+	base := train.NewBaseModel(model.Name, 24, 128, 7)
+	ks := make([]train.Knowledge, len(items))
+	allVision := len(items) > 0
+	for i, it := range items {
+		ds := train.GenDataset(it.Task, it.Domain, it.Seed)
+		ks[i] = train.Knowledge{Dataset: ds, RequiredAcc: it.RequiredAcc}
+		if !train.SupportsVisionHead(it.Task) {
+			allVision = false
+		}
+	}
+	res, err := train.Fuse(base, ks, train.FusionOptions{Rank: 8})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GeneratedAdapter, 0, len(res.Adapters))
+	for i, a := range res.Adapters {
+		head := train.LMHead
+		if allVision {
+			head = train.VisionHead
+		}
+		ra := &lora.Adapter{
+			ID:      i,
+			Name:    a.Name,
+			Rank:    model.DefaultRank,
+			Model:   model,
+			Head:    head,
+			Domains: append([]string(nil), a.Domains...),
+		}
+		acc := make(map[string]float64, len(a.Domains))
+		for _, d := range a.Domains {
+			acc[d] = res.Accuracies[d]
+		}
+		out = append(out, GeneratedAdapter{Adapter: ra, Domains: ra.Domains, Accuracies: acc})
+	}
+	return out, nil
+}
+
+// RunExperiments regenerates the paper's tables and figures. With
+// quick=true, sweeps shrink for fast test runs. The returned tables
+// render to markdown or CSV.
+func RunExperiments(quick bool) ([]*bench.Table, error) {
+	return bench.NewSuite(quick).RunAll()
+}
+
+// ExperimentIDs lists the available experiment identifiers in order.
+func ExperimentIDs() []string {
+	s := bench.NewSuite(true)
+	var out []string
+	for _, e := range s.All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// RunExperiment runs a single experiment by ID.
+func RunExperiment(id string, quick bool) (*bench.Table, error) {
+	s := bench.NewSuite(quick)
+	for _, e := range s.All() {
+		if e.ID == id {
+			return e.Run()
+		}
+	}
+	return nil, fmt.Errorf("valora: unknown experiment %q (see ExperimentIDs)", id)
+}
