@@ -2,8 +2,13 @@ package valora
 
 import (
 	"testing"
+	"time"
 
 	"valora/internal/bench"
+	"valora/internal/lmm"
+	"valora/internal/serving"
+	"valora/internal/simgpu"
+	"valora/internal/workload"
 )
 
 // Each benchmark regenerates one table or figure of the paper's
@@ -65,6 +70,34 @@ func BenchmarkFig22SkewE2E(b *testing.B)      { benchExperiment(b, "fig22") }
 func BenchmarkFig23AdapterCount(b *testing.B) { benchExperiment(b, "fig23") }
 func BenchmarkTable3MultiGPU(b *testing.B)    { benchExperiment(b, "table3") }
 func BenchmarkFig24PrefixCache(b *testing.B)  { benchExperiment(b, "fig24") }
+
+// Cluster serving: one full shared-timeline replay per op across 1, 2
+// and 4 instances (load scaled with the cluster), tracking cluster
+// throughput as the perf trajectory of the event-driven core.
+func benchmarkClusterServe(b *testing.B, instances int) {
+	b.Helper()
+	model := lmm.QwenVL7B()
+	for i := 0; i < b.N; i++ {
+		cl, err := serving.NewSystemCluster(serving.SystemVaLoRA, instances, simgpu.A100(), model, serving.NewRoundRobin())
+		if err != nil {
+			b.Fatal(err)
+		}
+		trace := workload.GenRetrieval(workload.DefaultRetrieval(float64(8*instances), 10*time.Second, 16, 0.6, 42))
+		rep, err := cl.Run(trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Throughput, "req/s")
+	}
+}
+
+func BenchmarkClusterServe1(b *testing.B) { benchmarkClusterServe(b, 1) }
+func BenchmarkClusterServe2(b *testing.B) { benchmarkClusterServe(b, 2) }
+func BenchmarkClusterServe4(b *testing.B) { benchmarkClusterServe(b, 4) }
+
+// Cluster dispatch-policy experiment (shared timeline, Table 3's
+// successor).
+func BenchmarkClusterDispatch(b *testing.B) { benchExperiment(b, "cluster-dispatch") }
 
 // Design-choice ablations (DESIGN.md).
 func BenchmarkAblationStaticTiling(b *testing.B) { benchExperiment(b, "ablation-tiling") }

@@ -1,5 +1,9 @@
 // Command valora-server exposes the simulated VaLoRA runtime over
-// HTTP: single-request latency estimation and workload replay.
+// HTTP. The server holds one persistent step-wise serving engine per
+// system kind: /v1/requests submits into the live engine (virtual
+// clock, prefix cache and adapter residency carry across requests)
+// while /v1/replay runs an isolated batch experiment, optionally
+// across a cluster of replicas with a chosen dispatch policy.
 //
 // Usage:
 //
@@ -8,8 +12,10 @@
 // Endpoints:
 //
 //	GET  /v1/model     — model and system info
-//	POST /v1/requests  — {"adapter_id":1,"input_tokens":400,"output_tokens":120,"images":1}
-//	POST /v1/replay    — {"app":"retrieval","rate":6,"seconds":30,"adapters":16,"skew":0.6}
+//	POST /v1/requests  — {"adapter_id":1,"input_tokens":400,"output_tokens":120,"images":1,
+//	                      "system":"S-LoRA"}  (system optional; default from -system)
+//	POST /v1/replay    — {"app":"retrieval","rate":6,"seconds":30,"adapters":16,"skew":0.6,
+//	                      "replicas":4,"dispatch":"adapter-affinity"}
 //	GET  /healthz
 package main
 
@@ -46,15 +52,9 @@ func main() {
 		log.Fatalf("unknown model %q", *modelName)
 	}
 
-	kind := serving.SystemKind(*system)
-	found := false
-	for _, k := range serving.AllSystems() {
-		if k == kind {
-			found = true
-		}
-	}
-	if !found {
-		log.Fatalf("unknown system %q", *system)
+	kind, err := serving.SystemByName(*system)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	frontend := serving.NewFrontend(kind, simgpu.A100(), model)

@@ -1,0 +1,3 @@
+module valora
+
+go 1.24

@@ -128,6 +128,7 @@ func (s *Suite) All() []Experiment {
 		{"fig22", s.Fig22SkewE2E},
 		{"fig23", s.Fig23AdapterCount},
 		{"table3", s.Table3MultiGPU},
+		{"cluster-dispatch", s.ClusterDispatch},
 		{"fig24", s.Fig24PrefixCache},
 		{"switcher", s.SwitcherMicro},
 		{"ablation-tiling", s.AblationStaticTiling},

@@ -97,6 +97,30 @@ func TestTable3QuickScaling(t *testing.T) {
 	}
 }
 
+// TestClusterDispatchQuick asserts the new cluster-scaling experiment
+// headline: adapter-affinity routing strictly reduces switch+swap
+// traffic versus round-robin on the skewed, swap-constrained trace.
+func TestClusterDispatchQuick(t *testing.T) {
+	s := NewSuite(true)
+	tab, err := s.ClusterDispatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (one per dispatch policy)", len(tab.Rows))
+	}
+	traffic := func(row []string) float64 {
+		return parseF(t, row[3]) + parseF(t, row[4]) // switches + swap-ins
+	}
+	rr, aff := tab.Rows[0], tab.Rows[2]
+	if rr[0] != "round-robin" || aff[0] != "adapter-affinity" {
+		t.Fatalf("unexpected row order: %v", tab.Rows)
+	}
+	if traffic(aff) >= traffic(rr) {
+		t.Errorf("affinity traffic %.0f should be under round-robin %.0f", traffic(aff), traffic(rr))
+	}
+}
+
 // TestFig24QuickDelta asserts the prefix-cache ablation loses only a
 // modest throughput fraction, in the spirit of the paper's <4%.
 func TestFig24QuickDelta(t *testing.T) {

@@ -1,0 +1,49 @@
+package sched
+
+import "time"
+
+// ArrivalQueue is a FIFO of requests kept ordered by arrival time. The
+// step-wise serving engine holds submitted-but-not-yet-ingested
+// requests here: trace replay appends already-sorted requests in O(1),
+// while online submissions (whose arrival is the engine's current
+// virtual time) insert in order, so ingestion can always pop from the
+// front. Ties preserve insertion order.
+type ArrivalQueue struct {
+	reqs []*Request
+}
+
+// Len reports the number of queued requests.
+func (q *ArrivalQueue) Len() int { return len(q.reqs) }
+
+// Push inserts r in arrival order (after any request with the same
+// arrival time).
+func (q *ArrivalQueue) Push(r *Request) {
+	i := len(q.reqs)
+	for i > 0 && q.reqs[i-1].Arrival > r.Arrival {
+		i--
+	}
+	q.reqs = append(q.reqs, nil)
+	copy(q.reqs[i+1:], q.reqs[i:])
+	q.reqs[i] = r
+}
+
+// Peek returns the earliest-arriving request without removing it, or
+// nil when empty.
+func (q *ArrivalQueue) Peek() *Request {
+	if len(q.reqs) == 0 {
+		return nil
+	}
+	return q.reqs[0]
+}
+
+// PopDue removes and returns the earliest request if it has arrived by
+// now, or nil.
+func (q *ArrivalQueue) PopDue(now time.Duration) *Request {
+	if len(q.reqs) == 0 || q.reqs[0].Arrival > now {
+		return nil
+	}
+	r := q.reqs[0]
+	q.reqs[0] = nil
+	q.reqs = q.reqs[1:]
+	return r
+}

@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestArrivalQueueOrdersByArrival(t *testing.T) {
+	var q ArrivalQueue
+	r3 := &Request{ID: 3, Arrival: 30}
+	r1 := &Request{ID: 1, Arrival: 10}
+	r2 := &Request{ID: 2, Arrival: 20}
+	q.Push(r3)
+	q.Push(r1)
+	q.Push(r2)
+	if q.Len() != 3 {
+		t.Fatalf("len %d", q.Len())
+	}
+	if q.Peek() != r1 {
+		t.Fatalf("peek = %v", q.Peek())
+	}
+	var got []int64
+	for {
+		r := q.PopDue(time.Duration(100))
+		if r == nil {
+			break
+		}
+		got = append(got, r.ID)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("pop order %v", got)
+	}
+}
+
+func TestArrivalQueueTiesPreserveInsertionOrder(t *testing.T) {
+	var q ArrivalQueue
+	a := &Request{ID: 1, Arrival: 5}
+	b := &Request{ID: 2, Arrival: 5}
+	q.Push(a)
+	q.Push(b)
+	if q.PopDue(5) != a || q.PopDue(5) != b {
+		t.Fatal("same-arrival requests must pop in insertion order")
+	}
+}
+
+func TestArrivalQueuePopDueRespectsNow(t *testing.T) {
+	var q ArrivalQueue
+	q.Push(&Request{ID: 1, Arrival: 50})
+	if r := q.PopDue(49); r != nil {
+		t.Fatalf("popped undue request %v", r)
+	}
+	if r := q.PopDue(50); r == nil || r.ID != 1 {
+		t.Fatalf("due request not popped: %v", r)
+	}
+	if q.PopDue(100) != nil || q.Peek() != nil || q.Len() != 0 {
+		t.Fatal("queue should be empty")
+	}
+}

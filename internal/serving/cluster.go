@@ -4,25 +4,42 @@ import (
 	"fmt"
 	"time"
 
+	"valora/internal/metrics"
+	"valora/internal/sched"
+	"valora/internal/sim"
 	"valora/internal/workload"
 )
 
-// Cluster runs several identical serving instances behind a
-// round-robin dispatcher, the multi-GPU configuration of Table 3. Each
-// instance serves its shard independently (the paper's scope is
-// single-instance optimization; inter-GPU scheduling is future work
-// there too).
+// Cluster runs several identical serving instances on one shared
+// virtual timeline, the multi-GPU configuration of Table 3. A
+// DispatchPolicy routes each request to an instance at its arrival
+// time; instance scheduling iterations then interleave in global time
+// order (sim.Timeline), so dispatch decisions observe causally
+// consistent instance load — the substrate for cluster-level
+// scheduling beyond the paper's single-instance scope.
 type Cluster struct {
-	servers []*Server
+	servers  []*Server
+	dispatch DispatchPolicy
 }
 
 // NewCluster builds n identical instances from an options factory
-// (called once per instance so servers do not share mutable state).
+// (called once per instance so servers do not share mutable state),
+// dispatching round-robin. Use NewClusterWithDispatch to choose the
+// routing policy.
 func NewCluster(n int, build func(i int) (Options, error)) (*Cluster, error) {
+	return NewClusterWithDispatch(n, NewRoundRobin(), build)
+}
+
+// NewClusterWithDispatch builds a cluster with an explicit dispatch
+// policy.
+func NewClusterWithDispatch(n int, dispatch DispatchPolicy, build func(i int) (Options, error)) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("serving: cluster needs at least one instance")
 	}
-	c := &Cluster{}
+	if dispatch == nil {
+		dispatch = NewRoundRobin()
+	}
+	c := &Cluster{dispatch: dispatch}
 	for i := 0; i < n; i++ {
 		opts, err := build(i)
 		if err != nil {
@@ -40,45 +57,68 @@ func NewCluster(n int, build func(i int) (Options, error)) (*Cluster, error) {
 // Size reports the number of instances.
 func (c *Cluster) Size() int { return len(c.servers) }
 
-// Run dispatches the trace round-robin and aggregates the per-instance
-// reports: requests/completions/tokens sum, latency percentiles merge,
-// throughput is total completions over the longest instance makespan.
+// Dispatch reports the routing policy in use.
+func (c *Cluster) Dispatch() DispatchPolicy { return c.dispatch }
+
+// Instances exposes the per-instance servers (for per-replica
+// inspection in tests and experiments).
+func (c *Cluster) Instances() []*Server {
+	out := make([]*Server, len(c.servers))
+	copy(out, c.servers)
+	return out
+}
+
+// Run replays a trace across the cluster: every arrival is an event on
+// a shared timeline, the dispatch policy routes it to an instance, and
+// instance steps interleave in global virtual-time order. The
+// aggregate report sums counters across instances, merges latency
+// percentile streams, and measures throughput as total completions
+// over the longest instance makespan.
 func (c *Cluster) Run(trace workload.Trace) (*Report, error) {
-	shards := make([]workload.Trace, len(c.servers))
-	for i, r := range trace {
-		s := i % len(c.servers)
-		shards[s] = append(shards[s], r)
+	tl := &sim.Timeline{}
+	tl.Handle = func(e *sim.Event) error {
+		r := e.Payload.(*sched.Request)
+		i := c.dispatch.Pick(r, c.servers)
+		if i < 0 || i >= len(c.servers) {
+			return fmt.Errorf("serving: dispatch %s picked instance %d of %d", c.dispatch.Name(), i, len(c.servers))
+		}
+		c.servers[i].Submit(r)
+		return nil
+	}
+	for _, srv := range c.servers {
+		tl.Add(srv)
+	}
+	for _, r := range trace {
+		tl.Schedule(r.Arrival, r)
+	}
+	if err := tl.Run(); err != nil {
+		return nil, err
+	}
+
+	reports := make([]*Report, len(c.servers))
+	for i, srv := range c.servers {
+		rep, err := srv.Drain() // already idle: finalizes the report
+		if err != nil {
+			return nil, err
+		}
+		reports[i] = rep
 	}
 
 	agg := &Report{
-		System:         c.servers[0].opts.Name + fmt.Sprintf(" x%d", len(c.servers)),
-		Model:          c.servers[0].opts.Model.Name,
+		System:         fmt.Sprintf("%s x%d [%s]", c.servers[0].Name(), len(c.servers), c.dispatch.Name()),
+		Model:          reports[0].Model,
 		ModeIterations: make(map[string]int),
 	}
 	var latencySum time.Duration
 	var tokensOut int
+	var hitRate float64
+	e2e, ttft := metrics.NewStream(), metrics.NewStream()
 	for i, srv := range c.servers {
-		rep, err := srv.Run(shards[i])
-		if err != nil {
-			return nil, err
-		}
-		agg.Requests += rep.Requests
-		agg.Completed += rep.Completed
-		agg.Iterations += rep.Iterations
-		agg.Switches += rep.Switches
-		agg.SwitchTime += rep.SwitchTime
-		agg.SwapIns += rep.SwapIns
-		agg.SwapStall += rep.SwapStall
-		for k, v := range rep.ModeIterations {
-			agg.ModeIterations[k] += v
-		}
-		if rep.SimTime > agg.SimTime {
-			agg.SimTime = rep.SimTime
-		}
-		latencySum += srv.latencySum
-		tokensOut += srv.tokensOut
-		agg.DeadlineMisses += rep.DeadlineMisses
-		agg.DeadlineTotal += rep.DeadlineTotal
+		agg.Merge(reports[i])
+		latencySum += srv.LatencySum()
+		tokensOut += srv.TokensOut()
+		srv.MergeLatencyStreams(e2e, ttft)
+		hitRate += reports[i].PrefixHitRate
 	}
 	if tokensOut > 0 {
 		agg.AvgTokenLatency = float64(latencySum) / float64(time.Millisecond) / float64(tokensOut)
@@ -86,14 +126,10 @@ func (c *Cluster) Run(trace workload.Trace) (*Report, error) {
 	if agg.SimTime > 0 {
 		agg.Throughput = float64(agg.Completed) / agg.SimTime.Seconds()
 	}
-	// Merge latency streams for aggregate percentiles.
-	e2e := c.servers[0].e2e
-	ttft := c.servers[0].ttft
-	for _, srv := range c.servers[1:] {
-		e2e.Merge(srv.e2e)
-		ttft.Merge(srv.ttft)
-	}
 	agg.E2E = e2e.Summarize()
 	agg.TTFT = ttft.Summarize()
+	// Unweighted mean across instances: informational in aggregates
+	// (per-instance lookup volumes are not part of the report).
+	agg.PrefixHitRate = hitRate / float64(len(c.servers))
 	return agg, nil
 }

@@ -1,0 +1,199 @@
+package serving
+
+import (
+	"testing"
+	"time"
+
+	"valora/internal/lmm"
+	"valora/internal/lora"
+	"valora/internal/simgpu"
+	"valora/internal/workload"
+)
+
+// skewedSwapTrace is a retrieval workload with a hot adapter (skew ≥
+// 0.6) over more adapters than the constrained pool below can hold
+// resident, so dispatch placement visibly moves switch and swap
+// counts.
+func skewedSwapTrace(seed int64) workload.Trace {
+	return workload.GenRetrieval(workload.DefaultRetrieval(8, 15*time.Second, 16, 0.6, seed))
+}
+
+// swapConstrained builds per-instance options whose adapter pool holds
+// only a few of the registered adapters.
+func swapConstrained(model lmm.Config) func(int) (Options, error) {
+	return func(int) (Options, error) {
+		opts, err := SystemOptions(SystemVaLoRA, simgpu.A100(), model)
+		if err != nil {
+			return Options{}, err
+		}
+		opts.AdapterPoolBytes = 4 * model.AdapterBytes(model.DefaultRank)
+		opts.Registry = lora.NewRegistry(lora.MakeUniformAdapters(model, 16, model.DefaultRank)...)
+		return opts, nil
+	}
+}
+
+func runDispatch(t *testing.T, dispatch DispatchPolicy, seed int64) (*Report, *Cluster) {
+	t.Helper()
+	model := lmm.QwenVL7B()
+	cl, err := NewClusterWithDispatch(4, dispatch, swapConstrained(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Run(skewedSwapTrace(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, cl
+}
+
+func TestAdapterAffinityCutsSwitchAndSwapTraffic(t *testing.T) {
+	rr, _ := runDispatch(t, NewRoundRobin(), 51)
+	aff, _ := runDispatch(t, NewAdapterAffinity(), 51)
+	if rr.Completed != rr.Requests || aff.Completed != aff.Requests {
+		t.Fatalf("both policies must complete the trace: rr %d/%d, affinity %d/%d",
+			rr.Completed, rr.Requests, aff.Completed, aff.Requests)
+	}
+	rrTraffic := rr.Switches + rr.SwapIns
+	affTraffic := aff.Switches + aff.SwapIns
+	if affTraffic >= rrTraffic {
+		t.Fatalf("adapter affinity should strictly reduce switch+swap traffic: affinity %d (switches %d + swaps %d) vs round-robin %d (switches %d + swaps %d)",
+			affTraffic, aff.Switches, aff.SwapIns, rrTraffic, rr.Switches, rr.SwapIns)
+	}
+}
+
+func TestDispatchAggregatesEqualInstanceSums(t *testing.T) {
+	for _, dispatch := range []DispatchPolicy{NewRoundRobin(), NewLeastLoaded(), NewAdapterAffinity()} {
+		trace := skewedSwapTrace(52)
+		model := lmm.QwenVL7B()
+		cl, err := NewClusterWithDispatch(3, dispatch, swapConstrained(model))
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg, err := cl.Run(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg.Requests != len(trace) {
+			t.Fatalf("%s: aggregate requests %d != trace %d", dispatch.Name(), agg.Requests, len(trace))
+		}
+		var reqs, done, iters, tokens int
+		var latSum time.Duration
+		for _, srv := range cl.Instances() {
+			rep := srv.Report()
+			reqs += rep.Requests
+			done += rep.Completed
+			iters += rep.Iterations
+			tokens += srv.TokensOut()
+			latSum += srv.LatencySum()
+		}
+		if agg.Requests != reqs || agg.Completed != done || agg.Iterations != iters {
+			t.Fatalf("%s: aggregate (req %d, done %d, iters %d) != instance sums (req %d, done %d, iters %d)",
+				dispatch.Name(), agg.Requests, agg.Completed, agg.Iterations, reqs, done, iters)
+		}
+		if agg.E2E.Count != done {
+			t.Fatalf("%s: merged e2e samples %d != completions %d", dispatch.Name(), agg.E2E.Count, done)
+		}
+		if tokens > 0 {
+			want := float64(latSum) / float64(time.Millisecond) / float64(tokens)
+			if diff := agg.AvgTokenLatency - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%s: aggregate avg token latency %.6f != token-sum recomputation %.6f", dispatch.Name(), agg.AvgTokenLatency, want)
+			}
+		}
+	}
+}
+
+func TestLeastLoadedSpreadsLoad(t *testing.T) {
+	model := lmm.QwenVL7B()
+	cl, err := NewClusterWithDispatch(2, NewLeastLoaded(), func(int) (Options, error) {
+		return SystemOptions(SystemVaLoRA, simgpu.A100(), model)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := shortRetrieval(53)
+	rep, err := cl.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != len(trace) {
+		t.Fatalf("least-loaded completed %d/%d", rep.Completed, len(trace))
+	}
+	for i, srv := range cl.Instances() {
+		if srv.Report().Requests == 0 {
+			t.Fatalf("least-loaded left instance %d idle", i)
+		}
+	}
+}
+
+func TestClusterDispatchDeterministic(t *testing.T) {
+	a, _ := runDispatch(t, NewAdapterAffinity(), 54)
+	b, _ := runDispatch(t, NewAdapterAffinity(), 54)
+	if a.AvgTokenLatency != b.AvgTokenLatency || a.Switches != b.Switches || a.SwapIns != b.SwapIns {
+		t.Fatalf("shared-timeline cluster runs must be deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestClusterSharedTimelineMatchesShardedReplay(t *testing.T) {
+	// Round-robin on the shared timeline assigns request i to instance
+	// i%n in arrival order — exactly the old independent-shard replay —
+	// so per-instance dynamics and the aggregate must match a manual
+	// sharded run.
+	model := lmm.QwenVL7B()
+	n := 2
+	trace := shortRetrieval(55)
+	cl, err := NewCluster(n, func(int) (Options, error) {
+		return SystemOptions(SystemVaLoRA, simgpu.A100(), model)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := cl.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var manualCompleted int
+	var manualIters int
+	shards := make([]workload.Trace, n)
+	for i, r := range shortRetrieval(55) {
+		shards[i%n] = append(shards[i%n], r)
+	}
+	for i := 0; i < n; i++ {
+		srv, err := NewSystem(SystemVaLoRA, simgpu.A100(), model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := srv.Run(shards[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		manualCompleted += rep.Completed
+		manualIters += rep.Iterations
+	}
+	if agg.Completed != manualCompleted || agg.Iterations != manualIters {
+		t.Fatalf("shared timeline (done %d, iters %d) != sharded replay (done %d, iters %d)",
+			agg.Completed, agg.Iterations, manualCompleted, manualIters)
+	}
+}
+
+func TestDispatchByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"":                 "round-robin",
+		"rr":               "round-robin",
+		"least-loaded":     "least-loaded",
+		"ll":               "least-loaded",
+		"affinity":         "adapter-affinity",
+		"adapter-affinity": "adapter-affinity",
+	} {
+		p, err := DispatchByName(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("%q resolved to %s, want %s", name, p.Name(), want)
+		}
+	}
+	if _, err := DispatchByName("nope"); err == nil {
+		t.Fatal("unknown dispatch should error")
+	}
+}

@@ -1,0 +1,111 @@
+package serving
+
+import (
+	"fmt"
+
+	"valora/internal/sched"
+)
+
+// DispatchPolicy routes each arriving request to one of a cluster's
+// serving instances. Pick runs at the request's arrival on the shared
+// virtual timeline, so the instance states it inspects (InFlight) are
+// causally consistent with the arrival order.
+type DispatchPolicy interface {
+	Name() string
+	// Pick returns the index of the chosen instance.
+	Pick(r *sched.Request, servers []*Server) int
+}
+
+// RoundRobin cycles through instances in arrival order — the
+// adapter-oblivious baseline (the sharded replay the cluster used
+// before the shared timeline).
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin builds a round-robin dispatcher.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name identifies the policy in reports.
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+// Pick returns instances cyclically.
+func (p *RoundRobin) Pick(_ *sched.Request, servers []*Server) int {
+	i := p.next % len(servers)
+	p.next++
+	return i
+}
+
+// LeastLoaded sends each request to the instance with the fewest
+// in-flight requests (ties to the lowest index), smoothing queueing
+// under bursty arrivals at the cost of scattering each adapter's
+// traffic across replicas.
+type LeastLoaded struct{}
+
+// NewLeastLoaded builds a least-loaded dispatcher.
+func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
+
+// Name identifies the policy in reports.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick returns the index of the least-loaded instance.
+func (LeastLoaded) Pick(_ *sched.Request, servers []*Server) int {
+	return leastLoaded(servers)
+}
+
+// AdapterAffinity pins each adapter to one replica: the first request
+// for an adapter is placed on the then-least-loaded instance and every
+// later request follows it. Concentrating an adapter's traffic keeps
+// its weights resident (fewer swap-ins) and keeps the per-replica
+// adapter mix narrow, so merged/mixture modes stay profitable and the
+// switcher fires less (§4.4's economics, applied across the cluster).
+type AdapterAffinity struct {
+	home map[int]int // adapter ID → instance index
+}
+
+// NewAdapterAffinity builds an adapter-affinity dispatcher.
+func NewAdapterAffinity() *AdapterAffinity {
+	return &AdapterAffinity{home: make(map[int]int)}
+}
+
+// Name identifies the policy in reports.
+func (p *AdapterAffinity) Name() string { return "adapter-affinity" }
+
+// Pick returns the adapter's home instance, assigning one (the
+// currently least-loaded replica) on first sight.
+func (p *AdapterAffinity) Pick(r *sched.Request, servers []*Server) int {
+	if i, ok := p.home[r.AdapterID]; ok && i < len(servers) {
+		return i
+	}
+	i := leastLoaded(servers)
+	p.home[r.AdapterID] = i
+	return i
+}
+
+func leastLoaded(servers []*Server) int {
+	best, bestLoad := 0, -1
+	for i, srv := range servers {
+		load := srv.InFlight()
+		if bestLoad < 0 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// DispatchByName resolves a policy name (as accepted by the HTTP
+// replay endpoint and CLI flags) to a fresh policy instance; it
+// accepts "round-robin", "least-loaded" and "adapter-affinity" (plus
+// the short forms "rr", "ll", "affinity"). The empty string means
+// round-robin.
+func DispatchByName(name string) (DispatchPolicy, error) {
+	switch name {
+	case "", "round-robin", "rr":
+		return NewRoundRobin(), nil
+	case "least-loaded", "ll":
+		return NewLeastLoaded(), nil
+	case "adapter-affinity", "affinity":
+		return NewAdapterAffinity(), nil
+	}
+	return nil, fmt.Errorf("serving: unknown dispatch policy %q", name)
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"valora/internal/lmm"
@@ -15,22 +16,55 @@ import (
 
 // Frontend is the demo HTTP interface of cmd/valora-server (the
 // RPyC-style streaming frontend of §5, reduced to JSON-over-HTTP). It
-// accepts single inference requests and replay jobs, runs them through
-// the simulated runtime, and reports the timing the real system would
-// deliver.
+// holds one persistent serving engine per system kind: single
+// inference requests are submitted into the live engine (whose virtual
+// clock, prefix cache and adapter residency carry across requests) and
+// stepped to completion, so consecutive requests see warmed state the
+// way a long-running server would. Replay jobs run a whole trace as an
+// isolated batch experiment on a fresh engine.
+//
+// net/http serves handlers concurrently; mu guards the shared scalar
+// state (sequence counter, replay seed) and the engine map, while each
+// live engine carries its own lock — the step-wise engine is
+// single-threaded by design, but requests to different systems
+// proceed concurrently.
 type Frontend struct {
 	Kind  SystemKind
 	GPU   *simgpu.GPU
 	Model lmm.Config
 
-	mux  *http.ServeMux
-	seq  int64
-	seed int64
+	mux *http.ServeMux
+
+	mu        sync.Mutex
+	seq       int64
+	seed      int64
+	instances map[SystemKind]*liveEngine // persistent live engines
 }
 
-// NewFrontend builds the HTTP handler for a system/model pair.
+// liveEngine is one persistent engine plus the lock serializing its
+// single-threaded stepping.
+type liveEngine struct {
+	mu     sync.Mutex
+	srv    *Server
+	served int
+}
+
+// liveEngineRequestCap bounds how many requests one live engine serves
+// before being recycled with a fresh one: the engine's metric streams
+// retain every latency sample for exact percentiles, so an unbounded
+// lifetime would leak memory under sustained traffic.
+const liveEngineRequestCap = 100000
+
+// NewFrontend builds the HTTP handler for a system/model pair. kind is
+// the default system; requests may select another with the "system"
+// field.
 func NewFrontend(kind SystemKind, g *simgpu.GPU, model lmm.Config) *Frontend {
-	f := &Frontend{Kind: kind, GPU: g, Model: model, mux: http.NewServeMux(), seed: 1}
+	f := &Frontend{
+		Kind: kind, GPU: g, Model: model,
+		mux:       http.NewServeMux(),
+		seed:      1,
+		instances: make(map[SystemKind]*liveEngine),
+	}
 	f.mux.HandleFunc("/v1/model", f.handleModel)
 	f.mux.HandleFunc("/v1/requests", f.handleRequest)
 	f.mux.HandleFunc("/v1/replay", f.handleReplay)
@@ -42,6 +76,29 @@ func NewFrontend(kind SystemKind, g *simgpu.GPU, model lmm.Config) *Frontend {
 
 // ServeHTTP dispatches to the frontend's routes.
 func (f *Frontend) ServeHTTP(w http.ResponseWriter, r *http.Request) { f.mux.ServeHTTP(w, r) }
+
+// instance returns the live engine for kind, building it on first use.
+// Callers must hold f.mu.
+func (f *Frontend) instance(kind SystemKind) (*liveEngine, error) {
+	if eng, ok := f.instances[kind]; ok {
+		return eng, nil
+	}
+	srv, err := NewSystem(kind, f.GPU, f.Model)
+	if err != nil {
+		return nil, err
+	}
+	eng := &liveEngine{srv: srv}
+	f.instances[kind] = eng
+	return eng, nil
+}
+
+// systemOf validates an optional per-request system override.
+func (f *Frontend) systemOf(name string) (SystemKind, error) {
+	if name == "" {
+		return f.Kind, nil
+	}
+	return SystemByName(name)
+}
 
 func (f *Frontend) handleModel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
@@ -62,6 +119,7 @@ type requestBody struct {
 	OutputTokens int    `json:"output_tokens"`
 	Images       int    `json:"images"`
 	Task         string `json:"task"`
+	System       string `json:"system"` // optional override of the default system
 }
 
 func (f *Frontend) handleRequest(w http.ResponseWriter, r *http.Request) {
@@ -80,9 +138,35 @@ func (f *Frontend) handleRequest(w http.ResponseWriter, r *http.Request) {
 	if body.OutputTokens <= 0 {
 		body.OutputTokens = 64
 	}
+	// The engine simulates one Step per output token while holding its
+	// engine lock; bound the work one request can demand.
+	const maxInputTokens, maxOutputTokens = 1 << 20, 4096
+	if body.InputTokens > maxInputTokens || body.OutputTokens > maxOutputTokens {
+		http.Error(w, fmt.Sprintf("token counts exceed the per-request maximum (%d in, %d out)", maxInputTokens, maxOutputTokens), http.StatusBadRequest)
+		return
+	}
+	kind, err := f.systemOf(body.System)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	f.mu.Lock()
+	eng, err := f.instance(kind)
+	if err != nil {
+		f.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	f.seq++
+	id := f.seq
+	f.mu.Unlock()
+
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	srv := eng.srv
 	req := &sched.Request{
-		ID:           f.seq,
+		ID:           id,
 		AdapterID:    body.AdapterID,
 		App:          sched.VisualRetrieval,
 		Task:         train.VisualQA,
@@ -90,23 +174,43 @@ func (f *Frontend) handleRequest(w http.ResponseWriter, r *http.Request) {
 		InputTokens:  body.InputTokens,
 		OutputTokens: body.OutputTokens,
 		Images:       body.Images,
+		Arrival:      srv.Now(), // online arrival at the live engine's clock
 	}
-	srv, err := NewSystem(f.Kind, f.GPU, f.Model)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	srv.Submit(req)
+	for req.Phase != sched.PhaseDone {
+		progressed, err := srv.Step()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if !progressed {
+			http.Error(w, "engine stalled before request completion", http.StatusInternalServerError)
+			return
+		}
+	}
+	eng.served++
+	if eng.served >= liveEngineRequestCap {
+		// Retire the engine; in-flight holders finish on it, the next
+		// request builds a fresh one (bounds latency-sample retention).
+		f.mu.Lock()
+		if f.instances[kind] == eng {
+			delete(f.instances, kind)
+		}
+		f.mu.Unlock()
+	}
+	if req.Emitted == 0 {
+		http.Error(w, "request rejected: prompt exceeds the KV cache", http.StatusUnprocessableEntity)
 		return
 	}
-	rep, err := srv.Run(workload.Trace{req})
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
+	lat := req.Latency()
 	writeJSON(w, map[string]any{
 		"request_id":        req.ID,
-		"ttft_ms":           float64(req.FirstToken) / float64(time.Millisecond),
-		"e2e_ms":            float64(req.Latency()) / float64(time.Millisecond),
-		"avg_token_latency": rep.AvgTokenLatency,
+		"system":            string(kind),
+		"ttft_ms":           float64(req.FirstToken-req.Arrival) / float64(time.Millisecond),
+		"e2e_ms":            float64(lat) / float64(time.Millisecond),
+		"avg_token_latency": float64(lat) / float64(time.Millisecond) / float64(req.InputTokens+req.OutputTokens),
 		"output_tokens":     req.OutputTokens,
+		"virtual_now_ms":    float64(srv.Now()) / float64(time.Millisecond),
 	})
 }
 
@@ -117,6 +221,9 @@ type replayBody struct {
 	Seconds  int     `json:"seconds"`
 	Adapters int     `json:"adapters"`
 	Skew     float64 `json:"skew"`
+	System   string  `json:"system"`   // optional override of the default system
+	Replicas int     `json:"replicas"` // >1 replays across a cluster
+	Dispatch string  `json:"dispatch"` // cluster routing: round-robin | least-loaded | adapter-affinity
 }
 
 func (f *Frontend) handleReplay(w http.ResponseWriter, r *http.Request) {
@@ -141,26 +248,57 @@ func (f *Frontend) handleReplay(w http.ResponseWriter, r *http.Request) {
 	if body.Rate <= 0 {
 		body.Rate = 4
 	}
+	if body.Replicas <= 0 {
+		body.Replicas = 1
+	}
+	// Bound what one replay request may cost: each replica is a full
+	// engine (KV cache, pool, prefix cache), and the synthesized trace
+	// holds ~rate×seconds requests in memory.
+	const maxReplicas, maxRate, maxSeconds, maxAdapters = 64, 1000, 600, 4096
+	if body.Replicas > maxReplicas || body.Rate > maxRate || body.Seconds > maxSeconds || body.Adapters > maxAdapters {
+		http.Error(w, fmt.Sprintf("replay size exceeds the maximum (%d replicas, rate %d, %d seconds, %d adapters)", maxReplicas, maxRate, maxSeconds, maxAdapters), http.StatusBadRequest)
+		return
+	}
+	kind, err := f.systemOf(body.System)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	dispatch, err := DispatchByName(body.Dispatch)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// The seed is shared mutable state; the replay itself runs on a
+	// fresh engine outside the lock so long experiments do not block
+	// live requests.
+	f.mu.Lock()
+	seed := f.seed
+	f.seed++
+	f.mu.Unlock()
+
 	dur := time.Duration(body.Seconds) * time.Second
 	var trace workload.Trace
 	if body.App == "video" {
-		trace = workload.GenVideo(workload.DefaultVideo(int(body.Rate), dur, body.Adapters, body.Skew, f.seed))
+		trace = workload.GenVideo(workload.DefaultVideo(int(body.Rate), dur, body.Adapters, body.Skew, seed))
 	} else {
-		trace = workload.GenRetrieval(workload.DefaultRetrieval(body.Rate, dur, body.Adapters, body.Skew, f.seed))
+		trace = workload.GenRetrieval(workload.DefaultRetrieval(body.Rate, dur, body.Adapters, body.Skew, seed))
 	}
-	f.seed++
-	srv, err := NewSystem(f.Kind, f.GPU, f.Model)
+	cl, err := NewSystemCluster(kind, body.Replicas, f.GPU, f.Model, dispatch)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	rep, err := srv.Run(trace)
+	rep, err := cl.Run(trace)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, map[string]any{
 		"system":               rep.System,
+		"replicas":             body.Replicas,
+		"dispatch":             dispatch.Name(),
 		"requests":             rep.Requests,
 		"completed":            rep.Completed,
 		"avg_token_latency_ms": rep.AvgTokenLatency,
@@ -169,6 +307,7 @@ func (f *Frontend) handleReplay(w http.ResponseWriter, r *http.Request) {
 		"e2e_p95_ms":           rep.E2E.P95,
 		"mode_iterations":      rep.ModeIterations,
 		"switches":             rep.Switches,
+		"swap_ins":             rep.SwapIns,
 	})
 }
 

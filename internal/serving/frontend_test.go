@@ -2,9 +2,11 @@ package serving
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"valora/internal/lmm"
@@ -98,6 +100,144 @@ func TestFrontendReplayVideo(t *testing.T) {
 	f.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/replay", strings.NewReader(payload)))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestFrontendConcurrentRequests hammers the shared engine from many
+// goroutines; with -race it proves the seq/seed/engine state is
+// properly synchronized (the seed bug this fixes: handleRequest and
+// handleReplay used to mutate f.seq/f.seed without a lock while
+// net/http served concurrently).
+func TestFrontendConcurrentRequests(t *testing.T) {
+	f := newTestFrontend(t)
+	const n = 12
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	ids := make(map[float64]bool)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var payload string
+			if i%3 == 0 {
+				payload = `{"app":"retrieval","rate":2,"seconds":2,"adapters":4}`
+				rec := httptest.NewRecorder()
+				f.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/replay", strings.NewReader(payload)))
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("replay status %d: %s", rec.Code, rec.Body)
+				}
+				return
+			}
+			payload = `{"adapter_id": 1, "input_tokens": 200, "output_tokens": 8}`
+			rec := httptest.NewRecorder()
+			f.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/requests", strings.NewReader(payload)))
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Errorf("request status %d: %s", rec.Code, rec.Body)
+				return
+			}
+			var body map[string]any
+			if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			ids[body["request_id"].(float64)] = true
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	want := 0
+	for i := 0; i < n; i++ {
+		if i%3 != 0 {
+			want++ // non-replay goroutines each get a unique request ID
+		}
+	}
+	if len(ids) != want {
+		t.Fatalf("got %d distinct request IDs from %d request goroutines", len(ids), want)
+	}
+}
+
+// TestFrontendPersistentEngine checks that consecutive requests land
+// on the same live engine: virtual time moves forward and request IDs
+// keep increasing.
+func TestFrontendPersistentEngine(t *testing.T) {
+	f := newTestFrontend(t)
+	var lastNow, lastID float64
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		f.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/requests",
+			strings.NewReader(`{"adapter_id": 2, "input_tokens": 300, "output_tokens": 8}`)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		var body map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatal(err)
+		}
+		now := body["virtual_now_ms"].(float64)
+		id := body["request_id"].(float64)
+		if now <= lastNow || id <= lastID {
+			t.Fatalf("engine not persistent: now %v after %v, id %v after %v", now, lastNow, id, lastID)
+		}
+		lastNow, lastID = now, id
+	}
+}
+
+// TestFrontendSystemOverride routes a request to a non-default system
+// via the body's "system" field.
+func TestFrontendSystemOverride(t *testing.T) {
+	f := newTestFrontend(t)
+	rec := httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/requests",
+		strings.NewReader(`{"adapter_id": 1, "system": "S-LoRA"}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["system"] != "S-LoRA" {
+		t.Fatalf("system override ignored: %v", body["system"])
+	}
+	rec = httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/requests",
+		strings.NewReader(`{"system": "bogus"}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bogus system should 400, got %d", rec.Code)
+	}
+}
+
+// TestFrontendClusterReplay replays across replicas with a dispatch
+// policy through the HTTP surface.
+func TestFrontendClusterReplay(t *testing.T) {
+	f := newTestFrontend(t)
+	payload := `{"app":"retrieval","rate":4,"seconds":5,"adapters":8,"skew":0.7,"replicas":2,"dispatch":"adapter-affinity"}`
+	rec := httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/replay", strings.NewReader(payload)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["replicas"].(float64) != 2 || body["dispatch"] != "adapter-affinity" {
+		t.Fatalf("cluster replay misrouted: %v", body)
+	}
+	if body["completed"].(float64) <= 0 {
+		t.Fatalf("degenerate cluster replay %v", body)
+	}
+	rec = httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/replay",
+		strings.NewReader(`{"dispatch":"bogus"}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bogus dispatch should 400, got %d", rec.Code)
 	}
 }
 

@@ -51,6 +51,36 @@ type Report struct {
 	DeadlineTotal  int
 }
 
+// Merge folds another instance's counters into r: counts and times
+// sum, ModeIterations merge, SimTime takes the longest makespan. The
+// derived rate metrics (AvgTokenLatency, Throughput, E2E/TTFT
+// summaries) are left for the caller to recompute over the merged
+// population — they do not compose by addition.
+func (r *Report) Merge(other *Report) {
+	r.Requests += other.Requests
+	r.Completed += other.Completed
+	r.Rejected += other.Rejected
+	r.Iterations += other.Iterations
+	r.Switches += other.Switches
+	r.SwitchTime += other.SwitchTime
+	r.LoRATime += other.LoRATime
+	r.BaseTime += other.BaseTime
+	r.SwapIns += other.SwapIns
+	r.SwapStall += other.SwapStall
+	r.Preemptions += other.Preemptions
+	r.DeadlineMisses += other.DeadlineMisses
+	r.DeadlineTotal += other.DeadlineTotal
+	if r.ModeIterations == nil {
+		r.ModeIterations = make(map[string]int)
+	}
+	for k, v := range other.ModeIterations {
+		r.ModeIterations[k] += v
+	}
+	if other.SimTime > r.SimTime {
+		r.SimTime = other.SimTime
+	}
+}
+
 // DeadlineMissRate reports the fraction of deadline-carrying requests
 // that missed.
 func (r *Report) DeadlineMissRate() float64 {

@@ -83,7 +83,12 @@ func (o *Options) withDefaults() error {
 	return nil
 }
 
-// Server is one simulated GPU serving instance.
+// Server is one simulated GPU serving instance. It is a step-wise
+// engine: requests enter through Submit, one scheduling iteration runs
+// per Step, and NextEventAt exposes the instance's place on a virtual
+// timeline so several instances can be interleaved in global time
+// order (see Cluster and sim.Timeline). Run replays a whole trace as a
+// convenience shim over the same primitives.
 type Server struct {
 	opts     Options
 	clock    sim.Clock
@@ -93,6 +98,12 @@ type Server struct {
 	pool     *lora.Pool
 	state    lora.State
 	lastIter time.Duration
+
+	// Request flow: Submit → pending (not yet due) → waiting (arrived,
+	// queued at the frontend) → active (admitted work-in-progress).
+	pending sched.ArrivalQueue
+	waiting []*sched.Request
+	active  []*sched.Request
 
 	report     *Report
 	e2e        *metrics.Stream
@@ -135,138 +146,194 @@ func (s *Server) adapterOf(id int) *lora.Adapter {
 	return &lora.Adapter{ID: id, Name: fmt.Sprintf("lora-%d", id), Rank: s.opts.Model.DefaultRank, Model: s.opts.Model}
 }
 
-// Run replays a trace through the serving loop and reports metrics.
-// The trace's requests are mutated (runtime state); callers replaying
-// the same workload across systems should generate a fresh trace per
-// run.
-func (s *Server) Run(trace workload.Trace) (*Report, error) {
-	var active, waiting []*sched.Request
-	next := 0
-	s.report.Requests = len(trace)
+// Submit enqueues a request into the engine. Trace replay submits
+// whole traces up front (arrivals in the future are held until due);
+// online callers submit with Arrival set to the engine's current
+// virtual time (see Now). The request is mutated by the run (runtime
+// state), so callers replaying the same workload across systems should
+// generate a fresh trace per run.
+func (s *Server) Submit(r *sched.Request) {
+	s.pending.Push(r)
+	s.report.Requests++
+}
 
-	for next < len(trace) || len(active) > 0 || len(waiting) > 0 {
-		now := s.clock.Now()
+// NextEventAt reports when this instance can next make progress: now
+// if it holds runnable work, the earliest pending arrival when it is
+// merely waiting for traffic, or sim.Never when fully idle. Cluster
+// dispatchers use it to interleave instances in global time order.
+func (s *Server) NextEventAt() time.Duration {
+	if len(s.active) > 0 || len(s.waiting) > 0 {
+		return s.clock.Now()
+	}
+	if next := s.pending.Peek(); next != nil {
+		if next.Arrival < s.clock.Now() {
+			return s.clock.Now()
+		}
+		return next.Arrival
+	}
+	return sim.Never
+}
 
-		// Ingest arrivals into the frontend queue, then admit into the
-		// runtime up to the work-in-progress cap.
-		for next < len(trace) && trace[next].Arrival <= now {
-			waiting = append(waiting, trace[next])
-			next++
+// Step executes one scheduling iteration of Algorithm 1's serving
+// loop: ingest due arrivals, admit up to the work-in-progress cap,
+// let the policy pick batch and mode, switch modes, ensure adapter
+// residency, advance the clock by the iteration time and account the
+// emitted tokens. It reports whether any progress was made; false
+// means the engine is idle (nothing active, waiting, or pending).
+func (s *Server) Step() (bool, error) {
+	now := s.clock.Now()
+
+	// Ingest arrivals into the frontend queue, then admit into the
+	// runtime up to the work-in-progress cap.
+	for {
+		r := s.pending.PopDue(now)
+		if r == nil {
+			break
 		}
-		for len(waiting) > 0 && len(active) < s.opts.AdmitCap {
-			active = append(active, waiting[0])
-			waiting = waiting[1:]
+		s.waiting = append(s.waiting, r)
+	}
+	for len(s.waiting) > 0 && len(s.active) < s.opts.AdmitCap {
+		s.active = append(s.active, s.waiting[0])
+		s.waiting = s.waiting[1:]
+	}
+	if len(s.active) == 0 {
+		next := s.pending.Peek()
+		if next == nil {
+			return false, nil // idle
 		}
-		if len(active) == 0 {
-			if next >= len(trace) {
-				break
+		s.clock.AdvanceTo(next.Arrival)
+		return true, nil
+	}
+
+	d := s.opts.Policy.Decide(now, s.active, s.state, s.opts.MaxBatch)
+	batch := s.admit(d.Batch)
+	batch = s.ensureKVHeadroom(batch)
+	s.active = filterDone(s.active) // drop rejected requests
+	if len(batch) == 0 {
+		// Nothing schedulable (e.g. KV pressure): let time move to
+		// the next arrival or retry after a scheduling quantum.
+		if next := s.pending.Peek(); next != nil && next.Arrival > now {
+			s.clock.AdvanceTo(next.Arrival)
+		} else {
+			s.clock.Advance(time.Millisecond)
+		}
+		return true, nil
+	}
+
+	// Mode switch.
+	target := lora.State{Mode: d.Mode, Merged: d.Merged}
+	if target != s.state {
+		st := s.opts.Switcher.SwitchTime(s.state, target)
+		if st > 0 {
+			s.report.Switches++
+			s.report.SwitchTime += st
+			s.clock.Advance(st)
+		}
+		s.state = target
+	}
+
+	// Adapter residency (the merged adapter must be resident to
+	// stay folded; unmerged adapters must be resident to compute).
+	var needed []*lora.Adapter
+	seen := map[int]bool{}
+	for _, r := range batch {
+		if !seen[r.AdapterID] {
+			seen[r.AdapterID] = true
+			needed = append(needed, s.adapterOf(r.AdapterID))
+		}
+	}
+	if stall := s.pool.Require(needed, s.lastIter); stall > 0 {
+		s.clock.Advance(stall)
+	}
+
+	// Build the iteration load and LoRA token groups.
+	var load lmm.IterationLoad
+	groupTokens := map[int]int{}
+	for _, r := range batch {
+		if !r.PrefillDone {
+			load.PrefillTokens += r.InputTokens - r.SharedTokens
+			if r.SharedTokens == 0 {
+				load.PrefillImages += r.Images
 			}
-			s.clock.AdvanceTo(trace[next].Arrival)
-			continue
+			groupTokens[r.AdapterID] += r.InputTokens - r.SharedTokens
+		} else {
+			load.DecodeSeqs++
+			load.ContextTokens += s.kv.Tokens(r.ID)
+			groupTokens[r.AdapterID]++
 		}
+	}
+	groups := make([]lora.TokenGroup, 0, len(groupTokens))
+	for id, tok := range groupTokens {
+		groups = append(groups, lora.TokenGroup{AdapterID: id, Rank: s.adapterOf(id).Rank, Tokens: tok})
+	}
 
-		d := s.opts.Policy.Decide(now, active, s.state, s.opts.MaxBatch)
-		batch := s.admit(d.Batch)
-		batch = s.ensureKVHeadroom(batch)
-		active = filterDone(active) // drop rejected requests
-		if len(batch) == 0 {
-			// Nothing schedulable (e.g. KV pressure): let time move to
-			// the next arrival or retry after a scheduling quantum.
-			if next < len(trace) && trace[next].Arrival > now {
-				s.clock.AdvanceTo(trace[next].Arrival)
-			} else {
-				s.clock.Advance(time.Millisecond)
-			}
-			continue
-		}
+	base := s.engine.IterationTime(load)
+	extra, err := lora.ExtraCost(s.opts.Operator, s.opts.Model, s.state.Mode, s.state.Merged, groups)
+	if err != nil {
+		return false, err
+	}
+	iter := base + extra
+	s.report.BaseTime += base
+	s.report.LoRATime += extra
+	s.report.Iterations++
+	s.report.ModeIterations[s.state.Mode.String()]++
+	s.lastIter = iter
+	s.clock.Advance(iter)
+	end := s.clock.Now()
 
-		// Mode switch.
-		target := lora.State{Mode: d.Mode, Merged: d.Merged}
-		if target != s.state {
-			st := s.opts.Switcher.SwitchTime(s.state, target)
-			if st > 0 {
-				s.report.Switches++
-				s.report.SwitchTime += st
-				s.clock.Advance(st)
-			}
-			s.state = target
+	// Token accounting: the prefill iteration also emits the first
+	// output token; decode iterations emit one token each.
+	for _, r := range batch {
+		r.MarkScheduled(now)
+		if !r.PrefillDone {
+			r.PrefillDone = true
 		}
+		if err := s.kv.Extend(r.ID); err != nil {
+			return false, err
+		}
+		r.Emitted++
+		if r.Emitted == 1 {
+			r.FirstToken = end
+			s.ttft.AddDuration(end - r.Arrival)
+		}
+		if r.Done() {
+			r.Finish = end
+			r.Phase = sched.PhaseDone
+			s.finish(r)
+		}
+	}
+	s.active = filterDone(s.active)
+	return true, nil
+}
 
-		// Adapter residency (the merged adapter must be resident to
-		// stay folded; unmerged adapters must be resident to compute).
-		var needed []*lora.Adapter
-		seen := map[int]bool{}
-		for _, r := range batch {
-			if !seen[r.AdapterID] {
-				seen[r.AdapterID] = true
-				needed = append(needed, s.adapterOf(r.AdapterID))
-			}
-		}
-		if stall := s.pool.Require(needed, s.lastIter); stall > 0 {
-			s.clock.Advance(stall)
-		}
-
-		// Build the iteration load and LoRA token groups.
-		var load lmm.IterationLoad
-		groupTokens := map[int]int{}
-		for _, r := range batch {
-			if !r.PrefillDone {
-				load.PrefillTokens += r.InputTokens - r.SharedTokens
-				if r.SharedTokens == 0 {
-					load.PrefillImages += r.Images
-				}
-				groupTokens[r.AdapterID] += r.InputTokens - r.SharedTokens
-			} else {
-				load.DecodeSeqs++
-				load.ContextTokens += s.kv.Tokens(r.ID)
-				groupTokens[r.AdapterID]++
-			}
-		}
-		groups := make([]lora.TokenGroup, 0, len(groupTokens))
-		for id, tok := range groupTokens {
-			groups = append(groups, lora.TokenGroup{AdapterID: id, Rank: s.adapterOf(id).Rank, Tokens: tok})
-		}
-
-		base := s.engine.IterationTime(load)
-		extra, err := lora.ExtraCost(s.opts.Operator, s.opts.Model, s.state.Mode, s.state.Merged, groups)
+// Drain steps the engine until it is idle, then finalizes and returns
+// the report. The report accumulates across the server's lifetime, so
+// a persistent (online) engine may Drain repeatedly as traffic comes
+// and goes.
+func (s *Server) Drain() (*Report, error) {
+	for {
+		progressed, err := s.Step()
 		if err != nil {
 			return nil, err
 		}
-		iter := base + extra
-		s.report.BaseTime += base
-		s.report.LoRATime += extra
-		s.report.Iterations++
-		s.report.ModeIterations[s.state.Mode.String()]++
-		s.lastIter = iter
-		s.clock.Advance(iter)
-		end := s.clock.Now()
-
-		// Token accounting: the prefill iteration also emits the first
-		// output token; decode iterations emit one token each.
-		for _, r := range batch {
-			r.MarkScheduled(now)
-			if !r.PrefillDone {
-				r.PrefillDone = true
-			}
-			if err := s.kv.Extend(r.ID); err != nil {
-				return nil, err
-			}
-			r.Emitted++
-			if r.Emitted == 1 {
-				r.FirstToken = end
-				s.ttft.AddDuration(end - r.Arrival)
-			}
-			if r.Done() {
-				r.Finish = end
-				r.Phase = sched.PhaseDone
-				s.finish(r)
-			}
+		if !progressed {
+			break
 		}
-		active = filterDone(active)
 	}
-
 	s.finalize()
 	return s.report, nil
+}
+
+// Run replays a trace through the serving loop and reports metrics.
+// It is a thin shim over the step-wise API: Submit every request, then
+// Drain. The trace's requests are mutated (runtime state); callers
+// replaying the same workload across systems should generate a fresh
+// trace per run.
+func (s *Server) Run(trace workload.Trace) (*Report, error) {
+	for _, r := range trace {
+		s.Submit(r)
+	}
+	return s.Drain()
 }
 
 // admit filters a proposed batch down to requests whose KV needs fit,
@@ -294,9 +361,13 @@ func (s *Server) admit(batch []*sched.Request) []*sched.Request {
 		}
 		ctx := r.InputTokens + r.Emitted
 		// A prompt that cannot fit even an empty cache will never be
-		// servable on this instance: reject it rather than spin.
-		need := (ctx - shared + 1 + lmm.BlockSize - 1) / lmm.BlockSize
-		if need > s.kv.TotalBlocks() {
+		// servable on this instance: reject it rather than spin. The
+		// prompt's blocks plus the one headroom block ensureKVHeadroom
+		// demands per batched request must fit, or a solo request
+		// whose allocation consumes every block would be preempted and
+		// re-admitted forever.
+		need := (ctx - shared + lmm.BlockSize - 1) / lmm.BlockSize
+		if need+1 > s.kv.TotalBlocks() {
 			s.reject(r)
 			continue
 		}
@@ -385,6 +456,43 @@ func (s *Server) finalize() {
 	s.report.SwapIns = swapIns
 	s.report.SwapStall = stall
 	s.report.PrefixHitRate = s.prefix.HitRate()
+}
+
+// Name reports the instance's configured name.
+func (s *Server) Name() string { return s.opts.Name }
+
+// Now reports the instance's current virtual time. Online submitters
+// stamp request arrivals with it.
+func (s *Server) Now() time.Duration { return s.clock.Now() }
+
+// InFlight counts requests submitted but not yet finished (pending +
+// waiting + admitted); dispatch policies use it as the load signal.
+func (s *Server) InFlight() int {
+	return s.pending.Len() + len(s.waiting) + len(s.active)
+}
+
+// LatencySum reports the accumulated end-to-end latency of completed
+// requests (the numerator of the paper's average-token-latency
+// metric).
+func (s *Server) LatencySum() time.Duration { return s.latencySum }
+
+// TokensOut reports the accumulated input+output tokens of completed
+// requests (the denominator of average token latency).
+func (s *Server) TokensOut() int { return s.tokensOut }
+
+// MergeLatencyStreams folds this instance's end-to-end and TTFT
+// samples into the given aggregate streams, leaving the instance's own
+// streams untouched.
+func (s *Server) MergeLatencyStreams(e2e, ttft *metrics.Stream) {
+	e2e.Merge(s.e2e)
+	ttft.Merge(s.ttft)
+}
+
+// Report finalizes and returns the server's cumulative report. The
+// returned report is live: further Steps keep extending it.
+func (s *Server) Report() *Report {
+	s.finalize()
+	return s.report
 }
 
 func filterDone(reqs []*sched.Request) []*sched.Request {

@@ -1,0 +1,149 @@
+package serving
+
+import (
+	"testing"
+	"time"
+
+	"valora/internal/lmm"
+	"valora/internal/sched"
+	"valora/internal/sim"
+	"valora/internal/simgpu"
+	"valora/internal/train"
+)
+
+// TestRunIsShimOverStepAPI replays the same trace through Run and
+// through manual Submit-all + Drain; the two must produce identical
+// reports (Run is a thin shim, not a separate code path).
+func TestRunIsShimOverStepAPI(t *testing.T) {
+	g := simgpu.A100()
+	model := lmm.QwenVL7B()
+
+	viaRun, err := NewSystem(SystemVaLoRA, g, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repRun, err := viaRun.Run(shortRetrieval(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	viaStep, err := NewSystem(SystemVaLoRA, g, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range shortRetrieval(42) {
+		viaStep.Submit(r)
+	}
+	repStep, err := viaStep.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if repRun.AvgTokenLatency != repStep.AvgTokenLatency ||
+		repRun.Iterations != repStep.Iterations ||
+		repRun.Switches != repStep.Switches ||
+		repRun.SimTime != repStep.SimTime ||
+		repRun.Completed != repStep.Completed {
+		t.Fatalf("Run and Submit+Drain diverged:\n run: %+v\nstep: %+v", repRun, repStep)
+	}
+}
+
+func TestNextEventAtLifecycle(t *testing.T) {
+	srv, err := NewSystem(SystemVaLoRA, simgpu.A100(), lmm.QwenVL7B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at := srv.NextEventAt(); at != sim.Never {
+		t.Fatalf("idle engine should report Never, got %v", at)
+	}
+	req := &sched.Request{
+		ID: 1, AdapterID: 0, App: sched.VisualRetrieval, Task: train.VisualQA,
+		InputTokens: 300, OutputTokens: 4, Arrival: 5 * time.Second,
+	}
+	srv.Submit(req)
+	if at := srv.NextEventAt(); at != 5*time.Second {
+		t.Fatalf("pending future arrival should report its time, got %v", at)
+	}
+	// First step only advances the clock to the arrival.
+	progressed, err := srv.Step()
+	if err != nil || !progressed {
+		t.Fatalf("step: %v %v", progressed, err)
+	}
+	if srv.Now() != 5*time.Second {
+		t.Fatalf("clock should sit at the arrival, got %v", srv.Now())
+	}
+	if at := srv.NextEventAt(); at != srv.Now() {
+		t.Fatalf("runnable work should report now, got %v", at)
+	}
+	if _, err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if req.Phase != sched.PhaseDone {
+		t.Fatal("drain should complete the request")
+	}
+	if at := srv.NextEventAt(); at != sim.Never {
+		t.Fatalf("drained engine should report Never, got %v", at)
+	}
+	if progressed, err := srv.Step(); err != nil || progressed {
+		t.Fatalf("idle step should be a no-op: %v %v", progressed, err)
+	}
+}
+
+// TestOnlineSubmitIntoLiveEngine drives the persistent-engine shape
+// the HTTP frontend uses: requests submitted at the engine's current
+// virtual time, one after another, against accumulated state.
+func TestOnlineSubmitIntoLiveEngine(t *testing.T) {
+	srv, err := NewSystem(SystemVaLoRA, simgpu.A100(), lmm.QwenVL7B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastFinish time.Duration
+	for i := 1; i <= 3; i++ {
+		req := &sched.Request{
+			ID: int64(i), AdapterID: i % 2, App: sched.VisualRetrieval, Task: train.VisualQA,
+			InputTokens: 300, OutputTokens: 8, Arrival: srv.Now(),
+		}
+		srv.Submit(req)
+		for req.Phase != sched.PhaseDone {
+			progressed, err := srv.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !progressed {
+				t.Fatal("engine stalled with an unfinished request")
+			}
+		}
+		if req.Finish < lastFinish {
+			t.Fatalf("virtual time ran backwards: %v after %v", req.Finish, lastFinish)
+		}
+		lastFinish = req.Finish
+	}
+	rep := srv.Report()
+	if rep.Requests != 3 || rep.Completed != 3 {
+		t.Fatalf("live engine report %d/%d, want 3/3", rep.Completed, rep.Requests)
+	}
+}
+
+// TestDrainIsRepeatable checks that Drain on an already-idle engine is
+// a cheap no-op returning the same cumulative report (needed by the
+// persistent frontend engines).
+func TestDrainIsRepeatable(t *testing.T) {
+	srv, err := NewSystem(SystemVaLoRA, simgpu.A100(), lmm.QwenVL7B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Run(shortRetrieval(61)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := srv.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := srv.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.SimTime != b.SimTime || a.AvgTokenLatency != b.AvgTokenLatency {
+		t.Fatalf("repeated drains diverged: %+v vs %+v", a, b)
+	}
+}

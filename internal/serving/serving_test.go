@@ -161,6 +161,51 @@ func TestOversizedPromptRejected(t *testing.T) {
 	}
 }
 
+// TestPromptFillingWholeCacheRejected guards the admit/preempt
+// live-lock: a prompt whose allocation would consume every KV block
+// leaves no headroom block for its emitted token, so it can never run
+// and must be rejected — not admitted, preempted, and re-admitted
+// forever.
+func TestPromptFillingWholeCacheRejected(t *testing.T) {
+	opts, err := SystemOptions(SystemVaLoRA, simgpu.A100(), lmm.QwenVL7B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.KVBudgetBytes = 10 * lmm.BlockSize * lmm.QwenVL7B().KVBytesPerToken() // 160 tokens
+	srv, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 159 tokens of prompt: 10 blocks allocated, 0 free for headroom.
+	trace := workload.Trace{&sched.Request{
+		ID: 1, AdapterID: 0, App: sched.VisualRetrieval, Task: train.VisualQA,
+		InputTokens: 159, OutputTokens: 4,
+	}}
+	rep, err := srv.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 1 || rep.Completed != 0 || rep.Preemptions != 0 {
+		t.Fatalf("whole-cache prompt should be rejected without preemption churn: %+v", rep)
+	}
+	// A prompt with decode headroom still completes.
+	srv2, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace2 := workload.Trace{&sched.Request{
+		ID: 1, AdapterID: 0, App: sched.VisualRetrieval, Task: train.VisualQA,
+		InputTokens: 100, OutputTokens: 4,
+	}}
+	rep2, err := srv2.Run(trace2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Completed != 1 {
+		t.Fatalf("prompt with headroom should complete: %+v", rep2)
+	}
+}
+
 func TestDeadlineTracking(t *testing.T) {
 	g := simgpu.A100()
 	model := lmm.QwenVL7B()

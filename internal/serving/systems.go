@@ -26,6 +26,17 @@ func AllSystems() []SystemKind {
 	return []SystemKind{SystemVaLoRA, SystemSLoRA, SystemPunica, SystemDLoRA}
 }
 
+// SystemByName resolves a user-supplied system name (HTTP bodies, CLI
+// flags) to its SystemKind, erroring on unknown names.
+func SystemByName(name string) (SystemKind, error) {
+	for _, k := range AllSystems() {
+		if k == SystemKind(name) {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("serving: unknown system %q", name)
+}
+
 // atmmCache memoizes ATMM operators per (GPU, dim, maxTokens): the
 // offline tiling search is deterministic, so instances are shareable.
 var atmmCache sync.Map // key string → *atmm.ATMM
@@ -106,4 +117,13 @@ func NewSystem(kind SystemKind, g *simgpu.GPU, model lmm.Config) (*Server, error
 		return nil, err
 	}
 	return NewServer(opts)
+}
+
+// NewSystemCluster builds an n-instance cluster of one system's preset
+// with the given dispatch policy (nil means round-robin). Each
+// instance gets its own Options so no mutable state is shared.
+func NewSystemCluster(kind SystemKind, n int, g *simgpu.GPU, model lmm.Config, dispatch DispatchPolicy) (*Cluster, error) {
+	return NewClusterWithDispatch(n, dispatch, func(int) (Options, error) {
+		return SystemOptions(kind, g, model)
+	})
 }

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Never marks the absence of a next event: a Process returning Never
+// from NextEventAt is idle and will not be stepped until new work
+// reaches it (e.g. through a Timeline event handler).
+const Never = time.Duration(-1)
+
+// Process is one steppable participant on a shared Timeline — a
+// serving instance with its own local clock, stepped one scheduling
+// iteration at a time.
+type Process interface {
+	// NextEventAt reports the virtual time at which the process can
+	// next make progress, or Never when it is idle.
+	NextEventAt() time.Duration
+	// Step executes one unit of progress. It reports whether any
+	// progress was made.
+	Step() (bool, error)
+}
+
+// Timeline interleaves externally scheduled events (request arrivals)
+// and the internal steps of several Processes on one shared virtual
+// clock. It is the multi-instance generalization of driving a single
+// Server: at every turn the globally earliest pending occurrence —
+// external event or process step — runs first, so cross-instance
+// decisions (dispatch, load inspection) observe a causally consistent
+// global order. Ties go to external events, then to the lowest-index
+// process, keeping runs deterministic.
+type Timeline struct {
+	events EventQueue
+	procs  []Process
+
+	// Handle consumes one external event when it becomes due. It runs
+	// before any process step at the same virtual time (an arrival at t
+	// must be visible to an instance deciding at t).
+	Handle func(*Event) error
+}
+
+// Schedule enqueues an external event at virtual time at.
+func (t *Timeline) Schedule(at time.Duration, payload any) {
+	t.events.Push(at, payload)
+}
+
+// Add registers a process on the timeline.
+func (t *Timeline) Add(p Process) { t.procs = append(t.procs, p) }
+
+// Pending reports the number of external events not yet handled.
+func (t *Timeline) Pending() int { return t.events.Len() }
+
+// next returns the index of the process with the earliest next event,
+// or -1 when all processes are idle.
+func (t *Timeline) next() (int, time.Duration) {
+	best, bestAt := -1, Never
+	for i, p := range t.procs {
+		at := p.NextEventAt()
+		if at == Never {
+			continue
+		}
+		if best < 0 || at < bestAt {
+			best, bestAt = i, at
+		}
+	}
+	return best, bestAt
+}
+
+// Run drains the timeline: external events and process steps execute
+// in global time order until no events remain and every process is
+// idle.
+func (t *Timeline) Run() error {
+	for {
+		proc, procAt := t.next()
+		e := t.events.Peek()
+		if e != nil && (proc < 0 || e.At <= procAt) {
+			t.events.Pop()
+			if t.Handle == nil {
+				continue
+			}
+			if err := t.Handle(e); err != nil {
+				return err
+			}
+			continue
+		}
+		if proc < 0 {
+			return nil
+		}
+		progressed, err := t.procs[proc].Step()
+		if err != nil {
+			return err
+		}
+		if !progressed {
+			// NextEventAt returning Never is the contract for idleness;
+			// a process that advertises pending work but cannot step
+			// would spin the loop forever.
+			return fmt.Errorf("sim: process %d advertised an event at %v but made no progress", proc, procAt)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeProc consumes a fixed schedule of event times, recording a
+// global sequence shared with the timeline's event handler.
+type fakeProc struct {
+	name  string
+	times []time.Duration
+	log   *[]string
+	err   error
+}
+
+func (p *fakeProc) NextEventAt() time.Duration {
+	if len(p.times) == 0 {
+		return Never
+	}
+	return p.times[0]
+}
+
+func (p *fakeProc) Step() (bool, error) {
+	if p.err != nil {
+		return false, p.err
+	}
+	if len(p.times) == 0 {
+		return false, nil
+	}
+	*p.log = append(*p.log, p.name)
+	p.times = p.times[1:]
+	return true, nil
+}
+
+func TestTimelineInterleavesGlobalOrder(t *testing.T) {
+	var log []string
+	a := &fakeProc{name: "a", times: []time.Duration{1, 5}, log: &log}
+	b := &fakeProc{name: "b", times: []time.Duration{2, 3}, log: &log}
+	tl := &Timeline{}
+	tl.Add(a)
+	tl.Add(b)
+	tl.Schedule(4, "ev4")
+	tl.Schedule(0, "ev0")
+	tl.Handle = func(e *Event) error {
+		log = append(log, e.Payload.(string))
+		return nil
+	}
+	if err := tl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ev0", "a", "b", "b", "ev4", "a"}
+	if len(log) != len(want) {
+		t.Fatalf("log %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log %v, want %v", log, want)
+		}
+	}
+	if tl.Pending() != 0 {
+		t.Fatalf("pending %d after Run", tl.Pending())
+	}
+}
+
+func TestTimelineEventBeforeProcessOnTie(t *testing.T) {
+	var log []string
+	a := &fakeProc{name: "a", times: []time.Duration{7}, log: &log}
+	tl := &Timeline{}
+	tl.Add(a)
+	tl.Schedule(7, "ev7")
+	tl.Handle = func(e *Event) error {
+		log = append(log, e.Payload.(string))
+		return nil
+	}
+	if err := tl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if log[0] != "ev7" || log[1] != "a" {
+		t.Fatalf("tie should run the event first: %v", log)
+	}
+}
+
+func TestTimelinePropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	var log []string
+	tl := &Timeline{}
+	tl.Add(&fakeProc{name: "a", times: []time.Duration{1}, log: &log, err: boom})
+	if err := tl.Run(); !errors.Is(err, boom) {
+		t.Fatalf("step error not propagated: %v", err)
+	}
+
+	tl2 := &Timeline{}
+	tl2.Schedule(0, "x")
+	tl2.Handle = func(*Event) error { return boom }
+	if err := tl2.Run(); !errors.Is(err, boom) {
+		t.Fatalf("handler error not propagated: %v", err)
+	}
+}
+
+func TestTimelineStalledProcessIsAnError(t *testing.T) {
+	// A process advertising work but making no progress must not spin
+	// the loop forever.
+	var log []string
+	p := &fakeProc{name: "a", log: &log}
+	stuck := stalledProc{p}
+	tl := &Timeline{}
+	tl.Add(stuck)
+	if err := tl.Run(); err == nil {
+		t.Fatal("stalled process should surface an error")
+	}
+}
+
+type stalledProc struct{ *fakeProc }
+
+func (stalledProc) NextEventAt() time.Duration { return 3 }
+func (stalledProc) Step() (bool, error)        { return false, nil }
+
+func TestTimelineEmptyRun(t *testing.T) {
+	tl := &Timeline{}
+	if err := tl.Run(); err != nil {
+		t.Fatalf("empty timeline should be a no-op: %v", err)
+	}
+}

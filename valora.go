@@ -13,9 +13,17 @@
 //     with measured accuracies.
 //   - New builds a serving System: the VaLoRA runtime (or one of the
 //     paper's baselines) on a simulated A100 around a chosen LMM.
-//   - System.Serve replays a workload trace through the runtime and
-//     returns the serving report (average token latency, throughput,
-//     mode/switch/swap accounting).
+//   - The runtime is a step-wise, event-driven engine: System.Submit
+//     enqueues a request into the live engine, System.Step runs one
+//     scheduling iteration (admit → policy decide → mode switch →
+//     adapter residency → iteration advance), and System.Drain steps
+//     until idle. System.Serve replays a whole trace over those
+//     primitives and returns the serving report (average token
+//     latency, throughput, mode/switch/swap accounting).
+//   - NewCluster scales to several instances on one shared virtual
+//     timeline, routing requests by a dispatch policy (round-robin,
+//     least-loaded, or adapter-affinity — which pins each adapter's
+//     traffic to a replica to cut switch and swap traffic).
 //   - Experiments (see RunExperiments) regenerate every table and
 //     figure of the paper's evaluation.
 //
@@ -35,6 +43,7 @@ import (
 	"valora/internal/bench"
 	"valora/internal/lmm"
 	"valora/internal/lora"
+	"valora/internal/sched"
 	"valora/internal/serving"
 	"valora/internal/simgpu"
 	"valora/internal/train"
@@ -50,6 +59,9 @@ type (
 	Report = serving.Report
 	// Trace is a workload of requests.
 	Trace = workload.Trace
+	// Request is one inference request (Trace element); online callers
+	// build these directly and Submit them into a live System.
+	Request = sched.Request
 	// ModelConfig describes an LMM (Table 2).
 	ModelConfig = lmm.Config
 	// TaskType enumerates the supported vision tasks.
@@ -104,17 +116,24 @@ type System struct {
 	model  ModelConfig
 }
 
-// New builds a serving system on a simulated A100.
-func New(cfg Config) (*System, error) {
+// withDefaults fills the zero-value System and Model choices.
+func (cfg Config) withDefaults() Config {
 	if cfg.System == "" {
 		cfg.System = VaLoRA
 	}
 	if cfg.Model.Layers == 0 {
 		cfg.Model = QwenVL7B()
 	}
+	return cfg
+}
+
+// options maps a (defaulted) Config onto one serving instance's
+// Options — shared by New and NewCluster so single-instance and
+// cluster builds of the same Config cannot drift.
+func (cfg Config) options() (serving.Options, error) {
 	opts, err := serving.SystemOptions(cfg.System, simgpu.A100(), cfg.Model)
 	if err != nil {
-		return nil, err
+		return serving.Options{}, err
 	}
 	if cfg.MaxBatch > 0 {
 		opts.MaxBatch = cfg.MaxBatch
@@ -128,6 +147,16 @@ func New(cfg Config) (*System, error) {
 	if len(cfg.Adapters) > 0 {
 		opts.Registry = lora.NewRegistry(cfg.Adapters...)
 	}
+	return opts, nil
+}
+
+// New builds a serving system on a simulated A100.
+func New(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	opts, err := cfg.options()
+	if err != nil {
+		return nil, err
+	}
 	srv, err := serving.NewServer(opts)
 	if err != nil {
 		return nil, err
@@ -135,12 +164,73 @@ func New(cfg Config) (*System, error) {
 	return &System{server: srv, kind: cfg.System, model: cfg.Model}, nil
 }
 
-// Serve replays a trace and returns the report. A System is
-// single-shot: its clock and caches carry the run's state, so build a
-// fresh System per experiment run.
+// Serve replays a trace and returns the report. The engine's clock,
+// caches and report accumulate across calls, so build a fresh System
+// per experiment run when results must be independent.
 func (s *System) Serve(trace Trace) (*Report, error) {
 	return s.server.Run(trace)
 }
+
+// Submit enqueues one request into the live engine without running it;
+// pair with Step/Drain for online, step-wise serving.
+func (s *System) Submit(r *Request) { s.server.Submit(r) }
+
+// Step runs one scheduling iteration of the engine, reporting whether
+// any progress was made (false = idle).
+func (s *System) Step() (bool, error) { return s.server.Step() }
+
+// Drain steps the engine until idle and returns the cumulative report.
+func (s *System) Drain() (*Report, error) { return s.server.Drain() }
+
+// Now reports the engine's current virtual time (stamp online request
+// arrivals with it).
+func (s *System) Now() time.Duration { return s.server.Now() }
+
+// DispatchKind selects how a cluster routes requests to replicas.
+type DispatchKind string
+
+const (
+	// RoundRobinDispatch cycles requests through replicas.
+	RoundRobinDispatch DispatchKind = "round-robin"
+	// LeastLoadedDispatch routes to the replica with the fewest
+	// in-flight requests.
+	LeastLoadedDispatch DispatchKind = "least-loaded"
+	// AdapterAffinityDispatch pins each adapter's traffic to one
+	// replica, cutting mode-switch and adapter-swap traffic.
+	AdapterAffinityDispatch DispatchKind = "adapter-affinity"
+)
+
+// ClusterSystem is a multi-instance serving system on one shared
+// virtual timeline.
+type ClusterSystem struct {
+	cluster *serving.Cluster
+}
+
+// NewCluster builds n replicas of the configured system, routed by the
+// given dispatch policy (empty means round-robin).
+func NewCluster(cfg Config, n int, dispatch DispatchKind) (*ClusterSystem, error) {
+	cfg = cfg.withDefaults()
+	pol, err := serving.DispatchByName(string(dispatch))
+	if err != nil {
+		return nil, err
+	}
+	cl, err := serving.NewClusterWithDispatch(n, pol, func(int) (serving.Options, error) {
+		return cfg.options()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterSystem{cluster: cl}, nil
+}
+
+// Serve replays a trace across the cluster and returns the aggregate
+// report.
+func (c *ClusterSystem) Serve(trace Trace) (*Report, error) {
+	return c.cluster.Run(trace)
+}
+
+// Size reports the number of replicas.
+func (c *ClusterSystem) Size() int { return c.cluster.Size() }
 
 // RetrievalWorkload synthesizes a visual-retrieval trace (Azure-like
 // arrivals at rate req/s, adapter popularity skewed so the hottest
