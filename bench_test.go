@@ -99,6 +99,21 @@ func BenchmarkClusterServe4(b *testing.B) { benchmarkClusterServe(b, 4) }
 // successor).
 func BenchmarkClusterDispatch(b *testing.B) { benchExperiment(b, "cluster-dispatch") }
 
+// Simulator stress scenario (quick size; the full 1M-request run backs
+// BENCH_serving.json via `valora-bench -id million-requests`). The
+// trajectory artifact goes to a temp dir so `go test -bench` stays
+// side-effect free.
+func BenchmarkMillionRequestsQuick(b *testing.B) {
+	suite := bench.NewSuite(true)
+	suite.OutDir = b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := suite.MillionRequests(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Design-choice ablations (DESIGN.md).
 func BenchmarkAblationStaticTiling(b *testing.B) { benchExperiment(b, "ablation-tiling") }
 func BenchmarkAblationNoMixture(b *testing.B)    { benchExperiment(b, "ablation-mixture") }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	valora-bench [-quick] [-id fig14] [-csv DIR]
+//	valora-bench [-quick] [-id fig14] [-csv DIR] [-out DIR]
 package main
 
 import (
@@ -26,11 +26,13 @@ func main() {
 		quick  = flag.Bool("quick", false, "shrink traces and sweeps for a fast run")
 		id     = flag.String("id", "", "run a single experiment by id (empty = all)")
 		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files")
+		outDir = flag.String("out", "", "directory for persistent artifacts like BENCH_serving.json (default: current directory)")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
 	suite := bench.NewSuite(*quick)
+	suite.OutDir = *outDir
 	if *list {
 		for _, e := range suite.All() {
 			fmt.Println(e.ID)

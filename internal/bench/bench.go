@@ -71,6 +71,10 @@ type Suite struct {
 	// full-size runs back EXPERIMENTS.md.
 	Quick bool
 	Seed  int64
+	// OutDir is where experiments that persist artifacts (the
+	// BENCH_*.json perf trajectories) write; empty means the current
+	// directory.
+	OutDir string
 }
 
 // NewSuite builds a suite on an A100 with the default seed.
@@ -129,6 +133,7 @@ func (s *Suite) All() []Experiment {
 		{"fig23", s.Fig23AdapterCount},
 		{"table3", s.Table3MultiGPU},
 		{"cluster-dispatch", s.ClusterDispatch},
+		{"million-requests", s.MillionRequests},
 		{"fig24", s.Fig24PrefixCache},
 		{"switcher", s.SwitcherMicro},
 		{"ablation-tiling", s.AblationStaticTiling},

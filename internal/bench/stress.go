@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"valora/internal/lmm"
+	"valora/internal/serving"
+	"valora/internal/workload"
+)
+
+// StressRecord is one entry of the BENCH_serving.json trajectory: a
+// wall-clock measurement of the simulator itself on the
+// million-requests stress scenario. The file accumulates one record
+// per run so the perf trajectory of the serving core is visible across
+// revisions.
+type StressRecord struct {
+	Experiment string    `json:"experiment"`
+	Timestamp  time.Time `json:"timestamp"`
+	Requests   int       `json:"requests"`
+	Instances  int       `json:"instances"`
+	Dispatch   string    `json:"dispatch"`
+	Quick      bool      `json:"quick"`
+
+	// WallSeconds is the real time the replay took; SimRPS is
+	// requests replayed per wall-clock second (the simulator's own
+	// throughput, the number the data-structure rework moves).
+	WallSeconds float64 `json:"wall_seconds"`
+	SimRPS      float64 `json:"sim_rps"`
+
+	// Virtual-time serving quality of the replay.
+	Completed    int     `json:"completed"`
+	Rejected     int     `json:"rejected"`
+	VirtualRPS   float64 `json:"virtual_rps"`
+	VirtualP50MS float64 `json:"virtual_p50_ms"`
+	VirtualP99MS float64 `json:"virtual_p99_ms"`
+}
+
+// BenchServingFile is the trajectory file the stress experiment
+// appends to, relative to Suite.OutDir.
+const BenchServingFile = "BENCH_serving.json"
+
+// stressSize reports the replay size: one million requests, shrunk in
+// quick (smoke) mode so CI and unit tests stay fast.
+func (s *Suite) stressSize() int {
+	if s.Quick {
+		return 50_000
+	}
+	return 1_000_000
+}
+
+// MillionRequests is the stress scenario of the O(1) hot-path rework:
+// it replays ≥1M small requests across a 4-instance VaLoRA cluster on
+// the shared virtual timeline and measures the simulator's wall-clock
+// throughput plus the virtual-time latency distribution, appending the
+// result to BENCH_serving.json.
+func (s *Suite) MillionRequests() (*Table, error) {
+	const instances = 4
+	model := lmm.QwenVL7B()
+	n := s.stressSize()
+	dispatch := serving.NewRoundRobin()
+
+	cl, err := serving.NewSystemCluster(serving.SystemVaLoRA, instances, s.GPU, model, dispatch)
+	if err != nil {
+		return nil, err
+	}
+	trace := workload.GenStress(workload.DefaultStress(n, s.Seed))
+
+	start := time.Now()
+	rep, err := cl.Run(trace)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+
+	if rep.Completed+rep.Rejected != n {
+		return nil, fmt.Errorf("bench: stress replay lost requests: %d completed + %d rejected of %d",
+			rep.Completed, rep.Rejected, n)
+	}
+
+	rec := StressRecord{
+		Experiment:   "million-requests",
+		Timestamp:    time.Now().UTC(),
+		Requests:     n,
+		Instances:    instances,
+		Dispatch:     dispatch.Name(),
+		Quick:        s.Quick,
+		WallSeconds:  wall.Seconds(),
+		SimRPS:       float64(n) / wall.Seconds(),
+		Completed:    rep.Completed,
+		Rejected:     rep.Rejected,
+		VirtualRPS:   rep.Throughput,
+		VirtualP50MS: rep.E2E.P50,
+		VirtualP99MS: rep.E2E.P99,
+	}
+	if err := s.appendStressRecord(rec); err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "million-requests",
+		Title: fmt.Sprintf("Simulator stress: %d requests across %d instances", n, instances),
+		Paper: "beyond-paper scale target: replay ≥1M requests in well under a minute of wall time so §6-style skew/rate sweeps stay tractable",
+		Columns: []string{"requests", "instances", "wall (s)", "sim throughput (req/s)",
+			"virtual req/s", "virtual p50 (ms)", "virtual p99 (ms)", "completed", "rejected"},
+	}
+	t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", instances), f2(rec.WallSeconds),
+		fmt.Sprintf("%.0f", rec.SimRPS), f2(rec.VirtualRPS), f2(rec.VirtualP50MS),
+		f2(rec.VirtualP99MS), fmt.Sprintf("%d", rep.Completed), fmt.Sprintf("%d", rep.Rejected))
+	t.Notes = fmt.Sprintf("appended to %s; simulator throughput is the perf-trajectory metric (wall-clock requests/sec of the replay loop).",
+		BenchServingFile)
+	return t, nil
+}
+
+// appendStressRecord appends rec to the BENCH_serving.json trajectory
+// (creating it on first run) in Suite.OutDir.
+func (s *Suite) appendStressRecord(rec StressRecord) error {
+	dir := s.OutDir
+	if dir == "" {
+		dir = "."
+	}
+	path := filepath.Join(dir, BenchServingFile)
+	var records []StressRecord
+	if data, err := os.ReadFile(path); err == nil {
+		// A corrupt trajectory file should not sink the run: start over
+		// rather than keep partially-decoded records.
+		if json.Unmarshal(data, &records) != nil {
+			records = nil
+		}
+	}
+	records = append(records, rec)
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMillionRequestsQuickSmoke runs the stress experiment in quick
+// mode: the replay must account for every request and append a record
+// to the BENCH_serving.json trajectory.
+func TestMillionRequestsQuickSmoke(t *testing.T) {
+	s := NewSuite(true)
+	s.OutDir = t.TempDir()
+	tab, err := s.MillionRequests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("want one result row, got %d", len(tab.Rows))
+	}
+	if got := tab.Rows[0][0]; got != "50000" {
+		t.Fatalf("quick mode should replay 50000 requests, row says %s", got)
+	}
+
+	data, err := os.ReadFile(filepath.Join(s.OutDir, BenchServingFile))
+	if err != nil {
+		t.Fatalf("trajectory file not written: %v", err)
+	}
+	var records []StressRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("trajectory not valid JSON: %v", err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("want one trajectory record, got %d", len(records))
+	}
+	rec := records[0]
+	if rec.Requests != 50000 || rec.Instances != 4 || rec.Completed+rec.Rejected != rec.Requests {
+		t.Fatalf("inconsistent record: %+v", rec)
+	}
+	if rec.SimRPS <= 0 || rec.WallSeconds <= 0 {
+		t.Fatalf("missing throughput measurement: %+v", rec)
+	}
+
+	// A second run must append, not overwrite.
+	if _, err := s.MillionRequests(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(filepath.Join(s.OutDir, BenchServingFile))
+	records = nil
+	if err := json.Unmarshal(data, &records); err != nil || len(records) != 2 {
+		t.Fatalf("trajectory should accumulate runs: len=%d err=%v", len(records), err)
+	}
+}

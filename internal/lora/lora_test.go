@@ -53,11 +53,11 @@ func TestPoolResidencyAndEviction(t *testing.T) {
 	pool := NewPool(g, 2*adapterBytes, false, true) // room for exactly 2
 	adapters := MakeUniformAdapters(model, 3, model.DefaultRank)
 
-	if d := pool.Require(adapters[:1], 0); d <= 0 {
-		t.Fatal("first swap-in must stall")
+	if d, err := pool.Require(adapters[:1], 0); err != nil || d <= 0 {
+		t.Fatalf("first swap-in must stall (stall %v, err %v)", d, err)
 	}
-	if d := pool.Require(adapters[:1], 0); d != 0 {
-		t.Fatal("resident adapter must be free")
+	if d, err := pool.Require(adapters[:1], 0); err != nil || d != 0 {
+		t.Fatalf("resident adapter must be free (stall %v, err %v)", d, err)
 	}
 	pool.Require(adapters[1:2], 0)
 	pool.Require(adapters[2:3], 0) // evicts adapter 0 (LRU)
@@ -83,8 +83,8 @@ func TestPoolAsyncOverlap(t *testing.T) {
 	sync := NewPool(g, 8<<30, false, true)
 	async := NewPool(g, 8<<30, true, true)
 
-	syncStall := sync.Require(adapters, time.Second)
-	asyncStall := async.Require(adapters, time.Second)
+	syncStall, _ := sync.Require(adapters, time.Second)
+	asyncStall, _ := async.Require(adapters, time.Second)
 	if syncStall <= 0 {
 		t.Fatal("synchronous swap must stall")
 	}
@@ -94,7 +94,7 @@ func TestPoolAsyncOverlap(t *testing.T) {
 	// Partial overlap: stall is reduced, not eliminated.
 	async2 := NewPool(g, 8<<30, true, true)
 	full := sync.GPU.HostToDevicePinned(adapters[0].Bytes())
-	partial := async2.Require(adapters, full/2)
+	partial, _ := async2.Require(adapters, full/2)
 	if partial <= 0 || partial >= full {
 		t.Fatalf("partial overlap stall %v should be in (0, %v)", partial, full)
 	}
@@ -106,7 +106,9 @@ func TestPoolContiguousCheaper(t *testing.T) {
 	adapters := MakeUniformAdapters(model, 1, model.DefaultRank)
 	contig := NewPool(g, 8<<30, false, true)
 	frag := NewPool(g, 8<<30, false, false)
-	if contig.Require(adapters, 0) >= frag.Require(adapters, 0) {
+	cd, _ := contig.Require(adapters, 0)
+	fd, _ := frag.Require(adapters, 0)
+	if cd >= fd {
 		t.Fatal("contiguous pinned pools must swap faster than fragmented pageable ones")
 	}
 }

@@ -1,10 +1,45 @@
 package lora
 
 import (
+	"fmt"
+	"strings"
 	"time"
 
 	"valora/internal/simgpu"
 )
+
+// CapacityError reports adapters a Require call could not make
+// resident. Oversized adapters exceed the pool's whole capacity and
+// can never be served from this pool (the server rejects their
+// requests); Deferred adapters merely lost to the pinned working set
+// of the current iteration and may fit on a later call.
+type CapacityError struct {
+	Capacity  int64
+	Oversized []int
+	Deferred  []int
+}
+
+func (e *CapacityError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lora: adapter pool (%d bytes) cannot host", e.Capacity)
+	if len(e.Oversized) > 0 {
+		fmt.Fprintf(&b, " oversized adapters %v", e.Oversized)
+	}
+	if len(e.Deferred) > 0 {
+		if len(e.Oversized) > 0 {
+			b.WriteString(" and")
+		}
+		fmt.Fprintf(&b, " adapters %v alongside the pinned working set", e.Deferred)
+	}
+	return b.String()
+}
+
+// poolEntry is one resident adapter on the intrusive LRU list.
+type poolEntry struct {
+	id         int
+	bytes      int64
+	prev, next *poolEntry
+}
 
 // Pool is the unified GPU memory manager of §5: a fixed byte budget
 // shared by LoRA adapters (the KV cache takes the rest of device
@@ -14,6 +49,12 @@ import (
 // swaps them asynchronously, overlapping the copy with the previous
 // iteration's compute; the dLoRA-style configuration swaps
 // synchronously and pays the full PCIe latency on every miss.
+//
+// Residency is tracked by an intrusive doubly-linked LRU list with a
+// map index, so touch, insert and evict are all O(1); the pin set
+// (Pin/Unpin, plus the implicit per-call pins Require takes on its
+// batch) shields the merged adapter and batch-resident adapters from
+// mid-iteration eviction.
 type Pool struct {
 	GPU      *simgpu.GPU
 	Capacity int64
@@ -25,9 +66,15 @@ type Pool struct {
 	// reshape copy (the dLoRA behaviour the paper criticizes).
 	Contiguous bool
 
-	used     int64
-	resident map[int]int64 // adapter ID → bytes
-	order    []int         // LRU, least recent first
+	used    int64
+	entries map[int]*poolEntry
+	// root is the sentinel of the circular LRU list: root.next is the
+	// least recently used entry, root.prev the most recently used.
+	root poolEntry
+	// pins counts active pins per adapter ID. Pins are independent of
+	// residency (a pinned ID may be swapped in later and is protected
+	// from then on); pinned entries are skipped by eviction.
+	pins map[int]int
 
 	swapIns   int
 	evictions int
@@ -36,20 +83,27 @@ type Pool struct {
 
 // NewPool builds an adapter pool with the given byte budget.
 func NewPool(g *simgpu.GPU, capacity int64, async, contiguous bool) *Pool {
-	return &Pool{
+	p := &Pool{
 		GPU:        g,
 		Capacity:   capacity,
 		Async:      async,
 		Contiguous: contiguous,
-		resident:   make(map[int]int64),
+		entries:    make(map[int]*poolEntry),
+		pins:       make(map[int]int),
 	}
+	p.root.next = &p.root
+	p.root.prev = &p.root
+	return p
 }
 
 // Resident reports whether an adapter is on device.
 func (p *Pool) Resident(id int) bool {
-	_, ok := p.resident[id]
+	_, ok := p.entries[id]
 	return ok
 }
+
+// ResidentCount reports the number of resident adapters.
+func (p *Pool) ResidentCount() int { return len(p.entries) }
 
 // Used reports resident bytes.
 func (p *Pool) Used() int64 { return p.used }
@@ -60,23 +114,82 @@ func (p *Pool) SwapStats() (swapIns, evictions int, stalled time.Duration) {
 	return p.swapIns, p.evictions, p.stalled
 }
 
-func (p *Pool) touch(id int) {
-	for i, v := range p.order {
-		if v == id {
-			p.order = append(append(p.order[:i:i], p.order[i+1:]...), id)
-			return
-		}
+// Pin protects an adapter from eviction until a matching Unpin. Pins
+// nest (a pin count is kept per ID) and are independent of residency:
+// the server pins the merged adapter so the folded weights can never
+// be swapped out from under the running mode.
+func (p *Pool) Pin(id int) { p.pins[id]++ }
+
+// Unpin releases one pin on an adapter. Unpinning an ID with no active
+// pins is a no-op.
+func (p *Pool) Unpin(id int) {
+	if n := p.pins[id]; n > 1 {
+		p.pins[id] = n - 1
+	} else if n == 1 {
+		delete(p.pins, id)
 	}
-	p.order = append(p.order, id)
 }
 
+// Pinned reports whether the adapter currently holds any pins.
+func (p *Pool) Pinned(id int) bool { return p.pins[id] > 0 }
+
+// listRemove unlinks e from the LRU list.
+func (p *Pool) listRemove(e *poolEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// listPushMRU links e at the most-recently-used end.
+func (p *Pool) listPushMRU(e *poolEntry) {
+	e.prev = p.root.prev
+	e.next = &p.root
+	e.prev.next = e
+	p.root.prev = e
+}
+
+// touch marks a resident entry most recently used.
+func (p *Pool) touch(e *poolEntry) {
+	if p.root.prev == e {
+		return
+	}
+	p.listRemove(e)
+	p.listPushMRU(e)
+}
+
+// evict removes a resident entry from the pool.
+func (p *Pool) evict(e *poolEntry) {
+	p.listRemove(e)
+	delete(p.entries, e.id)
+	p.used -= e.bytes
+	p.evictions++
+}
+
+// canMakeRoom reports whether evicting unpinned entries could free
+// enough bytes for need. Require checks it before evicting so a
+// swap-in that must be deferred anyway does not throw away residency
+// (and charge re-swap stalls) for nothing.
+func (p *Pool) canMakeRoom(need int64) bool {
+	avail := p.Capacity - p.used
+	for e := p.root.next; e != &p.root && avail < need; e = e.next {
+		if p.pins[e.id] == 0 {
+			avail += e.bytes
+		}
+	}
+	return avail >= need
+}
+
+// evictUntil frees unpinned LRU entries until need bytes fit (or no
+// evictable entry remains). It never touches pinned entries, so it can
+// return without having made room.
 func (p *Pool) evictUntil(need int64) {
-	for p.used+need > p.Capacity && len(p.order) > 0 {
-		victim := p.order[0]
-		p.order = p.order[1:]
-		p.used -= p.resident[victim]
-		delete(p.resident, victim)
-		p.evictions++
+	e := p.root.next
+	for p.used+need > p.Capacity && e != &p.root {
+		next := e.next
+		if p.pins[e.id] == 0 {
+			p.evict(e)
+		}
+		e = next
 	}
 }
 
@@ -84,44 +197,120 @@ func (p *Pool) evictUntil(need int64) {
 // the pipeline stall the swaps cause. overlapBudget is compute time
 // the copies can hide behind when asynchronous swapping is enabled
 // (typically the previous iteration's duration).
-func (p *Pool) Require(adapters []*Adapter, overlapBudget time.Duration) time.Duration {
+//
+// All adapters of the batch are pinned for the duration of the call,
+// so a later swap-in can never evict an adapter made resident earlier
+// in the same call. Adapters that cannot be hosted — larger than the
+// whole pool, or blocked by the pinned working set — are left
+// non-resident and reported through a *CapacityError; the pool never
+// over-commits (Used() ≤ Capacity always holds).
+func (p *Pool) Require(adapters []*Adapter, overlapBudget time.Duration) (time.Duration, error) {
+	for _, a := range adapters {
+		if a != nil {
+			p.pins[a.ID]++
+		}
+	}
+
 	var copyTime time.Duration
+	var oversized, deferred []int
 	for _, a := range adapters {
 		if a == nil {
 			continue
 		}
-		if p.Resident(a.ID) {
-			p.touch(a.ID)
+		if e, ok := p.entries[a.ID]; ok {
+			p.touch(e)
 			continue
 		}
 		bytes := a.Bytes()
+		if bytes > p.Capacity {
+			oversized = append(oversized, a.ID)
+			continue
+		}
+		if !p.canMakeRoom(bytes) {
+			// The pinned working set blocks this swap-in; admitting
+			// anyway would leave used > Capacity permanently visible,
+			// and evicting first would throw residency away for
+			// nothing. Defer untouched.
+			deferred = append(deferred, a.ID)
+			continue
+		}
 		p.evictUntil(bytes)
-		p.resident[a.ID] = bytes
+		e := &poolEntry{id: a.ID, bytes: bytes}
+		p.entries[a.ID] = e
+		p.listPushMRU(e)
 		p.used += bytes
-		p.touch(a.ID)
 		p.swapIns++
 
-		var t time.Duration
 		if p.Contiguous {
 			// Unified memory pools stage adapters through pinned
 			// buffers into pre-allocated contiguous slots.
-			t = p.GPU.HostToDevicePinned(bytes)
+			copyTime += p.GPU.HostToDevicePinned(bytes)
 		} else {
 			// Pageable copy plus an on-device gather into the
 			// kernel-visible buffer.
-			t = p.GPU.HostToDevice(bytes) + p.GPU.DeviceCopy(bytes)
+			copyTime += p.GPU.HostToDevice(bytes) + p.GPU.DeviceCopy(bytes)
 		}
-		copyTime += t
+	}
+
+	for _, a := range adapters {
+		if a != nil {
+			p.Unpin(a.ID)
+		}
+	}
+
+	var err error
+	if len(oversized) > 0 || len(deferred) > 0 {
+		err = &CapacityError{Capacity: p.Capacity, Oversized: oversized, Deferred: deferred}
 	}
 	if copyTime == 0 {
-		return 0
+		return 0, err
 	}
 	if p.Async {
 		if copyTime <= overlapBudget {
-			return 0
+			return 0, err
 		}
 		copyTime -= overlapBudget
 	}
 	p.stalled += copyTime
-	return copyTime
+	return copyTime, err
+}
+
+// CheckInvariants verifies the pool's internal bookkeeping: the LRU
+// list and the map index describe the same resident set, used equals
+// the sum of resident adapter bytes, the budget is respected, and the
+// pin set holds no stale zero counts. Tests call it after every
+// mutation; it is cheap enough (O(resident)) for that but not meant
+// for per-iteration production use.
+func (p *Pool) CheckInvariants() error {
+	var sum int64
+	n := 0
+	for e := p.root.next; e != &p.root; e = e.next {
+		me, ok := p.entries[e.id]
+		if !ok {
+			return fmt.Errorf("lora: pool list entry %d missing from index", e.id)
+		}
+		if me != e {
+			return fmt.Errorf("lora: pool index for %d points at a different entry", e.id)
+		}
+		if e.next.prev != e || e.prev.next != e {
+			return fmt.Errorf("lora: pool list links broken at %d", e.id)
+		}
+		sum += e.bytes
+		n++
+	}
+	if n != len(p.entries) {
+		return fmt.Errorf("lora: pool list has %d entries, index has %d", n, len(p.entries))
+	}
+	if sum != p.used {
+		return fmt.Errorf("lora: pool used=%d but resident bytes sum to %d", p.used, sum)
+	}
+	if p.used > p.Capacity {
+		return fmt.Errorf("lora: pool over-committed: used=%d > capacity=%d", p.used, p.Capacity)
+	}
+	for id, c := range p.pins {
+		if c <= 0 {
+			return fmt.Errorf("lora: stale pin count %d for adapter %d", c, id)
+		}
+	}
+	return nil
 }

@@ -11,6 +11,15 @@ import (
 // appears, prefer the mixture mode (no merge→unmerge switch cost,
 // less extra compute); fall back to unmerged mode when starvation is
 // widespread.
+//
+// Decide runs once per scheduling iteration, so it is written to be
+// allocation-free on the steady path: the starving set, the batch and
+// the adapter-cohort counts live in scratch buffers reused across
+// calls (cohort counts are epoch-versioned instead of cleared), and
+// batch membership is tracked by an epoch mark on the requests
+// themselves instead of a per-call set. The returned Decision.Batch
+// aliases the policy's scratch buffer and is valid until the next
+// Decide call — exactly the lifetime the serving loop needs.
 type VaLoRAPolicy struct {
 	// Theta is the credit tolerance θ: requests whose credit exceeds
 	// it count as starving.
@@ -22,6 +31,20 @@ type VaLoRAPolicy struct {
 	// DisableMixture is the deLoRA ablation arm: starvation falls
 	// straight through to unmerged mode.
 	DisableMixture bool
+
+	// Scratch state (see type comment). epoch identifies the current
+	// Decide call in both the cohort counts and the request marks.
+	epoch    uint64
+	starve   []*Request
+	batchBuf []*Request
+	counts   map[int]cohortCount
+}
+
+// cohortCount is an epoch-versioned per-adapter request count: a count
+// from an older epoch reads as zero, so the map never needs clearing.
+type cohortCount struct {
+	epoch uint64
+	n     int
 }
 
 // NewVaLoRAPolicy returns the policy with calibrated defaults.
@@ -35,6 +58,61 @@ func NewVaLoRAPolicy() *VaLoRAPolicy {
 
 func (p *VaLoRAPolicy) Name() string { return "VaLoRA" }
 
+// count reads adapter id's request count for the current epoch.
+func (p *VaLoRAPolicy) count(id int) int {
+	if c, ok := p.counts[id]; ok && c.epoch == p.epoch {
+		return c.n
+	}
+	return 0
+}
+
+// countCohorts tallies per-adapter request counts over the active set
+// and returns the dominant adapter under the deterministic tie rules
+// (prefer the currently merged adapter, then the lower ID) together
+// with its count.
+func (p *VaLoRAPolicy) countCohorts(active []*Request, cur lora.State) (best, bestCount int) {
+	if p.counts == nil {
+		p.counts = make(map[int]cohortCount)
+	}
+	best, bestCount = -1, 0
+	for _, r := range active {
+		id := r.AdapterID
+		c := p.count(id) + 1
+		p.counts[id] = cohortCount{epoch: p.epoch, n: c}
+		switch {
+		case c > bestCount:
+			best, bestCount = id, c
+		case c == bestCount:
+			if id == cur.Merged || (best != cur.Merged && id < best) {
+				best = id
+			}
+		}
+	}
+	return best, bestCount
+}
+
+// take appends r to the batch and marks it as batched for this epoch.
+func (p *VaLoRAPolicy) take(batch []*Request, r *Request) []*Request {
+	r.batchEpoch = p.epoch
+	return append(batch, r)
+}
+
+// appendUnmarked appends requests from all that are not yet in the
+// batch (by epoch mark), preserving order, until the batch reaches
+// maxBS. keep filters by adapter when ≥ 0.
+func (p *VaLoRAPolicy) appendUnmarked(batch, all []*Request, maxBS, keep int) []*Request {
+	for _, r := range all {
+		if len(batch) >= maxBS {
+			break
+		}
+		if r.batchEpoch == p.epoch || (keep >= 0 && r.AdapterID != keep) {
+			continue
+		}
+		batch = p.take(batch, r)
+	}
+	return batch
+}
+
 // Decide follows Algorithm 1 line by line: collect starving requests,
 // find the largest same-adapter cohort, then pick merge (no
 // starvation, cohort dominant), mixture (some starvation, cohort still
@@ -43,6 +121,7 @@ func (p *VaLoRAPolicy) Decide(now time.Duration, active []*Request, cur lora.Sta
 	if len(active) == 0 {
 		return Decision{Mode: cur.Mode, Merged: cur.Merged}
 	}
+	p.epoch++
 
 	// The tolerance scales with backlog depth: under overload every
 	// request waits many scheduling rounds, and labelling them all as
@@ -52,38 +131,40 @@ func (p *VaLoRAPolicy) Decide(now time.Duration, active []*Request, cur lora.Sta
 	if len(active) > maxBS {
 		theta = time.Duration(float64(p.Theta) * float64(len(active)) / float64(maxBS))
 	}
-	var starve []*Request
+	p.starve = p.starve[:0]
 	for _, r := range active {
 		if r.Credit(now, p.EstExec, p.SwitchLat) > theta {
-			starve = append(starve, r)
+			p.starve = append(p.starve, r)
 		}
 	}
-	spare := maxBS - len(starve)
-	mergedID, mergeReqs := mostCommonAdapter(active, cur)
+	mergedID, mergedCount := p.countCohorts(active, cur)
 
 	// Hysteresis: keep the currently merged adapter unless the new
 	// dominant cohort is meaningfully larger, so marginal count
 	// changes do not thrash the (cheap but nonzero) switch.
 	if cur.Merged >= 0 && mergedID != cur.Merged {
-		var curReqs []*Request
-		for _, r := range active {
-			if r.AdapterID == cur.Merged {
-				curReqs = append(curReqs, r)
-			}
-		}
-		if len(curReqs) > 0 && float64(len(mergeReqs)) < 1.5*float64(len(curReqs)) {
-			mergedID, mergeReqs = cur.Merged, curReqs
+		if curCount := p.count(cur.Merged); curCount > 0 && float64(mergedCount) < 1.5*float64(curCount) {
+			mergedID, mergedCount = cur.Merged, curCount
 		}
 	}
-
-	_ = spare
 
 	// Principle 1 (merged whenever possible), made batch-aware: a
 	// merged-only iteration excludes every other adapter's requests,
 	// so it only beats unmerged serving when the dominant cohort fills
 	// the batch on its own and nobody is starving.
-	if len(starve) == 0 && len(mergeReqs) >= maxBS {
-		return Decision{Mode: lora.ModeMerged, Merged: mergedID, Batch: capBatch(mergeReqs, maxBS)}
+	if len(p.starve) == 0 && mergedCount >= maxBS {
+		batch := p.appendUnmarked(p.batchBuf[:0], active, maxBS, mergedID)
+		p.batchBuf = batch
+		return Decision{Mode: lora.ModeMerged, Merged: mergedID, Batch: batch}
+	}
+
+	// Starving requests go first in every remaining mode.
+	batch := p.batchBuf[:0]
+	for _, r := range p.starve {
+		if len(batch) >= maxBS {
+			break
+		}
+		batch = p.take(batch, r)
 	}
 
 	// Principle 2: the deLoRA mixture folds the dominant adapter for
@@ -91,45 +172,24 @@ func (p *VaLoRAPolicy) Decide(now time.Duration, active []*Request, cur lora.Sta
 	// deLoRA compensation branch covers the unmerged tokens, so the
 	// mixture pays off exactly while the merged cohort holds the
 	// majority of the work (the Fig. 20 crossover).
-	if !p.DisableMixture && float64(len(mergeReqs)) > 0.5*float64(len(active)) {
-		batch := capBatch(starve, maxBS)
-		batch = append(batch, subtract(mergeReqs, batch, maxBS-len(batch))...)
-		batch = append(batch, subtract(active, batch, maxBS-len(batch))...)
+	if !p.DisableMixture && float64(mergedCount) > 0.5*float64(len(active)) {
+		batch = p.appendUnmarked(batch, active, maxBS, mergedID)
+		batch = p.appendUnmarked(batch, active, maxBS, -1)
+		p.batchBuf = batch
 		return Decision{Mode: lora.ModeMixture, Merged: mergedID, Batch: batch}
 	}
 
-	batch := capBatch(starve, maxBS)
-	batch = append(batch, subtract(active, batch, maxBS-len(batch))...)
+	batch = p.appendUnmarked(batch, active, maxBS, -1)
+	p.batchBuf = batch
 	return Decision{Mode: lora.ModeUnmerged, Merged: -1, Batch: batch}
 }
 
-// capBatch truncates a batch to maxBS requests.
+// capBatch truncates a batch to maxBS requests. (Used by the baseline
+// policies; VaLoRAPolicy builds batches in its reusable scratch
+// buffer.)
 func capBatch(reqs []*Request, maxBS int) []*Request {
 	if len(reqs) <= maxBS {
 		return append([]*Request(nil), reqs...)
 	}
 	return append([]*Request(nil), reqs[:maxBS]...)
-}
-
-// subtract returns up to limit requests from all that are not in excl,
-// preserving order.
-func subtract(all, excl []*Request, limit int) []*Request {
-	if limit <= 0 {
-		return nil
-	}
-	in := make(map[int64]bool, len(excl))
-	for _, r := range excl {
-		in[r.ID] = true
-	}
-	var out []*Request
-	for _, r := range all {
-		if in[r.ID] {
-			continue
-		}
-		out = append(out, r)
-		if len(out) == limit {
-			break
-		}
-	}
-	return out
 }

@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"valora/internal/lora"
+)
+
+// refArrivalQueue is the previous sorted-slice implementation, kept
+// here as the executable specification the heap must match: ordered
+// insert (stable among equal arrivals), pop from the front when due.
+type refArrivalQueue struct {
+	reqs []*Request
+}
+
+func (q *refArrivalQueue) Len() int { return len(q.reqs) }
+
+func (q *refArrivalQueue) Push(r *Request) {
+	i := len(q.reqs)
+	for i > 0 && q.reqs[i-1].Arrival > r.Arrival {
+		i--
+	}
+	q.reqs = append(q.reqs, nil)
+	copy(q.reqs[i+1:], q.reqs[i:])
+	q.reqs[i] = r
+}
+
+func (q *refArrivalQueue) Peek() *Request {
+	if len(q.reqs) == 0 {
+		return nil
+	}
+	return q.reqs[0]
+}
+
+func (q *refArrivalQueue) PopDue(now time.Duration) *Request {
+	if len(q.reqs) == 0 || q.reqs[0].Arrival > now {
+		return nil
+	}
+	r := q.reqs[0]
+	q.reqs = q.reqs[1:]
+	return r
+}
+
+// TestArrivalQueueMatchesSortedSliceSemantics drives the heap and the
+// reference implementation with the same randomized Push/PopDue/Peek
+// schedule and demands identical observable behaviour, including FIFO
+// order among equal arrival times.
+func TestArrivalQueueMatchesSortedSliceSemantics(t *testing.T) {
+	f := func(seed int64, rawOps uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := int(rawOps)%400 + 20
+		var q ArrivalQueue
+		var ref refArrivalQueue
+		var id int64
+		now := time.Duration(0)
+		for op := 0; op < ops; op++ {
+			switch rng.Intn(3) {
+			case 0, 1: // push, biased so the queue grows
+				id++
+				// Coarse buckets force plenty of arrival-time ties.
+				r := &Request{ID: id, Arrival: time.Duration(rng.Intn(20)) * time.Millisecond}
+				q.Push(r)
+				ref.Push(r)
+			case 2: // drain everything due at a random now
+				now += time.Duration(rng.Intn(8)) * time.Millisecond
+				for {
+					got, want := q.PopDue(now), ref.PopDue(now)
+					if got != want {
+						t.Errorf("seed %d op %d: PopDue(%v) = %v, reference %v", seed, op, now, got, want)
+						return false
+					}
+					if got == nil {
+						break
+					}
+				}
+			}
+			if q.Peek() != ref.Peek() || q.Len() != ref.Len() {
+				t.Errorf("seed %d op %d: Peek/Len diverged (%v/%d vs %v/%d)",
+					seed, op, q.Peek(), q.Len(), ref.Peek(), ref.Len())
+				return false
+			}
+		}
+		// Final full drain must agree element-for-element.
+		for {
+			got, want := q.PopDue(time.Hour), ref.PopDue(time.Hour)
+			if got != want {
+				t.Errorf("seed %d final drain: %v vs %v", seed, got, want)
+				return false
+			}
+			if got == nil {
+				return true
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVaLoRADecideSteadyStateAllocFree locks in the scratch-buffer
+// rework: once warmed, Decide makes no allocations regardless of which
+// mode branch it takes.
+func TestVaLoRADecideSteadyStateAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := NewVaLoRAPolicy()
+	active := randomActive(rng, 64, 8)
+	cur := lora.State{Mode: lora.ModeUnmerged, Merged: -1}
+	now := 6 * time.Second
+	p.Decide(now, active, cur, 16) // warm the scratch buffers
+	allocs := testing.AllocsPerRun(200, func() {
+		d := p.Decide(now, active, cur, 16)
+		if len(d.Batch) == 0 {
+			t.Fatal("non-empty active set must schedule something")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Decide allocated %.1f times per call, want 0", allocs)
+	}
+}

@@ -66,6 +66,12 @@ type Request struct {
 	FirstToken    time.Duration
 	Finish        time.Duration
 	scheduledOnce bool
+
+	// batchEpoch marks membership in the batch VaLoRAPolicy is
+	// currently assembling (an epoch mark instead of a per-call set
+	// keeps Decide allocation-free). Requests live on exactly one
+	// server, so a single mark per request suffices.
+	batchEpoch uint64
 }
 
 func (r *Request) String() string {

@@ -83,6 +83,10 @@ func (c *Cluster) Run(trace workload.Trace) (*Report, error) {
 			return fmt.Errorf("serving: dispatch %s picked instance %d of %d", c.dispatch.Name(), i, len(c.servers))
 		}
 		c.servers[i].Submit(r)
+		// Submit changes the instance's next-event time; tell the
+		// timeline's indexed heap (decrease-key) so an idle instance
+		// wakes up for the arrival.
+		tl.Refresh(i)
 		return nil
 	}
 	for _, srv := range c.servers {

@@ -1,0 +1,144 @@
+package serving
+
+import (
+	"testing"
+	"time"
+
+	"valora/internal/lmm"
+	"valora/internal/lora"
+	"valora/internal/sched"
+	"valora/internal/simgpu"
+	"valora/internal/train"
+	"valora/internal/workload"
+)
+
+// TestOversizedAdapterRejected: a request whose adapter cannot fit in
+// the whole adapter pool is surfaced as a rejection (the pool never
+// over-commits), while normal-rank traffic on the same instance keeps
+// completing.
+func TestOversizedAdapterRejected(t *testing.T) {
+	model := lmm.QwenVL7B()
+	opts, err := SystemOptions(SystemVaLoRA, simgpu.A100(), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normal := model.DefaultRank
+	opts.AdapterPoolBytes = 4 * model.AdapterBytes(normal)
+	opts.Registry = lora.NewRegistry(
+		&lora.Adapter{ID: 0, Name: "ok", Rank: normal, Model: model},
+		&lora.Adapter{ID: 1, Name: "whale", Rank: 512 * normal, Model: model},
+	)
+	if model.AdapterBytes(512*normal) <= opts.AdapterPoolBytes {
+		t.Fatal("test setup: whale adapter must exceed the pool")
+	}
+	srv, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.Trace{
+		&sched.Request{ID: 1, AdapterID: 0, App: sched.VisualRetrieval, Task: train.VisualQA,
+			InputTokens: 64, OutputTokens: 4},
+		&sched.Request{ID: 2, AdapterID: 1, App: sched.VisualRetrieval, Task: train.VisualQA,
+			InputTokens: 64, OutputTokens: 4, Arrival: time.Millisecond},
+		&sched.Request{ID: 3, AdapterID: 0, App: sched.VisualRetrieval, Task: train.VisualQA,
+			InputTokens: 64, OutputTokens: 4, Arrival: 2 * time.Millisecond},
+	}
+	rep, err := srv.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 1 || rep.Completed != 2 {
+		t.Fatalf("want 1 rejection (whale) and 2 completions, got %+v", rep)
+	}
+}
+
+// TestTinyPoolStillCompletes drives a pool that holds a single adapter
+// while the workload spreads over several: swap-ins that lose to the
+// iteration's pinned working set are deferred, not rejected, so every
+// request still finishes.
+func TestTinyPoolStillCompletes(t *testing.T) {
+	model := lmm.QwenVL7B()
+	opts, err := SystemOptions(SystemVaLoRA, simgpu.A100(), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.AdapterPoolBytes = model.AdapterBytes(model.DefaultRank)
+	opts.Registry = lora.NewRegistry(lora.MakeUniformAdapters(model, 4, model.DefaultRank)...)
+	srv, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.GenRetrieval(workload.DefaultRetrieval(4, 5*time.Second, 4, 0.4, 9))
+	rep, err := srv.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != rep.Requests || rep.Rejected != 0 {
+		t.Fatalf("tiny pool must defer, not reject: %+v", rep)
+	}
+	if _, evictions, _ := poolStats(srv); evictions == 0 {
+		t.Fatal("a one-slot pool under four adapters must churn")
+	}
+}
+
+// poolStats exposes the server's pool counters to capacity tests.
+func poolStats(s *Server) (swapIns, evictions int, stalled time.Duration) {
+	return s.pool.SwapStats()
+}
+
+// TestMergedPinDoesNotLivelock reproduces the worst case of the
+// pinned pool: the merged (hot) adapter occupies the single pool slot
+// while a starvation-first batch of minority-adapter requests loses
+// every swap-in. The merged-cohort fallback must keep the engine
+// making progress until the policy re-merges, completing everything.
+func TestMergedPinDoesNotLivelock(t *testing.T) {
+	model := lmm.QwenVL7B()
+	opts, err := SystemOptions(SystemVaLoRA, simgpu.A100(), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.AdapterPoolBytes = model.AdapterBytes(model.DefaultRank) // one slot
+	opts.Registry = lora.NewRegistry(lora.MakeUniformAdapters(model, 9, model.DefaultRank)...)
+	opts.MaxBatch = 4
+	opts.AdmitCap = 64
+	p := sched.NewVaLoRAPolicy()
+	p.Theta = time.Nanosecond // everything starves: batches are starvation-first
+	opts.Policy = p
+	srv, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var trace workload.Trace
+	var id int64
+	add := func(adapter int, at time.Duration) {
+		id++
+		trace = append(trace, &sched.Request{
+			ID: id, AdapterID: adapter, App: sched.VisualRetrieval, Task: train.VisualQA,
+			InputTokens: 48, OutputTokens: 2, Arrival: at,
+		})
+	}
+	// Phase A: hot-only traffic makes adapter 0 the merged, resident,
+	// pinned occupant of the whole pool.
+	for i := 0; i < 10; i++ {
+		add(0, 0)
+	}
+	// Phase B: eight distinct minority adapters arrive first (they lead
+	// the active order and monopolize starvation-first batches), then
+	// enough hot traffic to keep adapter 0 the merged majority.
+	for a := 1; a <= 8; a++ {
+		add(a, 2*time.Second)
+	}
+	for i := 0; i < 12; i++ {
+		add(0, 2*time.Second)
+	}
+
+	rep, err := srv.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != rep.Requests || rep.Rejected != 0 {
+		t.Fatalf("livelock guard failed: %d/%d completed (%d rejected)",
+			rep.Completed, rep.Requests, rep.Rejected)
+	}
+}

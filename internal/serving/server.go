@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -110,7 +111,27 @@ type Server struct {
 	ttft       *metrics.Stream
 	latencySum time.Duration
 	tokensOut  int
+
+	// capacityStalls counts consecutive scheduling rounds in which
+	// capacity pressure emptied the batch; bounded by
+	// maxCapacityStalls so a configuration deadlock surfaces as an
+	// error rather than an infinite Drain.
+	capacityStalls int
+
+	// Per-iteration scratch, reused across Steps so the scheduling
+	// loop stays allocation-free in steady state.
+	scratchNeeded      []*lora.Adapter
+	scratchSeen        map[int]bool
+	scratchGroupTokens map[int]int
+	scratchGroups      []lora.TokenGroup
+	// synth memoizes registry-less adapter descriptors (see adapterOf).
+	synth map[int]*lora.Adapter
 }
+
+// maxCapacityStalls bounds consecutive zero-progress scheduling rounds
+// (10 virtual seconds at the 1ms retry quantum) before the engine
+// reports a capacity deadlock.
+const maxCapacityStalls = 10000
 
 // NewServer builds a serving instance.
 func NewServer(opts Options) (*Server, error) {
@@ -126,6 +147,10 @@ func NewServer(opts Options) (*Server, error) {
 		state:  lora.State{Mode: lora.ModeUnmerged, Merged: -1},
 		e2e:    metrics.NewStream(),
 		ttft:   metrics.NewStream(),
+
+		scratchSeen:        make(map[int]bool),
+		scratchGroupTokens: make(map[int]int),
+		synth:              make(map[int]*lora.Adapter),
 	}
 	s.report = &Report{
 		System:         opts.Name,
@@ -137,13 +162,21 @@ func NewServer(opts Options) (*Server, error) {
 
 // adapterOf resolves a request's adapter from the registry, or
 // synthesizes a default-rank descriptor when no registry is set.
+// Synthesized descriptors are memoized: adapterOf runs several times
+// per scheduling iteration, and the pool keys residency off stable
+// adapter identities.
 func (s *Server) adapterOf(id int) *lora.Adapter {
 	if s.opts.Registry != nil {
 		if a, ok := s.opts.Registry.Get(id); ok {
 			return a
 		}
 	}
-	return &lora.Adapter{ID: id, Name: fmt.Sprintf("lora-%d", id), Rank: s.opts.Model.DefaultRank, Model: s.opts.Model}
+	if a, ok := s.synth[id]; ok {
+		return a
+	}
+	a := &lora.Adapter{ID: id, Name: fmt.Sprintf("lora-%d", id), Rank: s.opts.Model.DefaultRank, Model: s.opts.Model}
+	s.synth[id] = a
+	return a
 }
 
 // Submit enqueues a request into the engine. Trace replay submits
@@ -220,35 +253,79 @@ func (s *Server) Step() (bool, error) {
 		return true, nil
 	}
 
-	// Mode switch.
 	target := lora.State{Mode: d.Mode, Merged: d.Merged}
-	if target != s.state {
-		st := s.opts.Switcher.SwitchTime(s.state, target)
-		if st > 0 {
-			s.report.Switches++
-			s.report.SwitchTime += st
-			s.clock.Advance(st)
-		}
-		s.state = target
-	}
 
-	// Adapter residency (the merged adapter must be resident to
-	// stay folded; unmerged adapters must be resident to compute).
-	var needed []*lora.Adapter
-	seen := map[int]bool{}
+	// Adapter residency comes before the mode switch: folding requires
+	// the weights on device, so the fold target is part of the working
+	// set even when its own cohort missed the batch (the batch
+	// adapters must be resident to compute in any mode).
+	needed := s.scratchNeeded[:0]
+	seen := s.scratchSeen
+	clear(seen)
 	for _, r := range batch {
 		if !seen[r.AdapterID] {
 			seen[r.AdapterID] = true
 			needed = append(needed, s.adapterOf(r.AdapterID))
 		}
 	}
-	if stall := s.pool.Require(needed, s.lastIter); stall > 0 {
+	if target.Merged >= 0 && !seen[target.Merged] {
+		needed = append(needed, s.adapterOf(target.Merged))
+	}
+	s.scratchNeeded = needed
+	stall, err := s.pool.Require(needed, s.lastIter)
+	if err != nil {
+		var ce *lora.CapacityError
+		if !errors.As(err, &ce) {
+			return false, err
+		}
+		batch = s.dropUnhosted(batch, ce)
+	}
+	if stall > 0 {
 		s.clock.Advance(stall)
 	}
+	if target.Merged >= 0 && !s.pool.Resident(target.Merged) {
+		// The fold target lost its swap-in: folding absent weights is
+		// impossible, so this iteration serves unmerged instead of
+		// pretending the adapter was merged.
+		target = lora.State{Mode: lora.ModeUnmerged, Merged: -1}
+	}
+	if len(batch) == 0 {
+		// The whole batch was unhostable this round (capacity
+		// pressure). The currently merged cohort — resident and pinned
+		// by definition — can always run, so starvation-first batches
+		// that lost every swap-in cannot livelock the engine. The
+		// fallback serves under the current state, skipping the switch.
+		if fb := s.mergedCohortFallback(); len(fb) > 0 {
+			batch = fb
+			target = s.state
+		}
+	}
+	if len(batch) == 0 {
+		// Even with nothing servable, an intended mode switch is real
+		// progress: it updates the pins, so a stale merged adapter
+		// whose folded weights were crowding the pool frees its slot
+		// for the next round's swap-ins. Then let a scheduling quantum
+		// pass; if nothing ever unblocks (pool and KV capacity
+		// deadlocked), fail loudly instead of spinning virtual time
+		// forever.
+		s.switchTo(target)
+		s.capacityStalls++
+		if s.capacityStalls > maxCapacityStalls {
+			return false, fmt.Errorf("serving: %s made no progress for %d consecutive scheduling rounds (adapter-pool/KV capacity deadlock)",
+				s.opts.Name, s.capacityStalls)
+		}
+		s.clock.Advance(time.Millisecond)
+		return true, nil
+	}
+	s.capacityStalls = 0
+	s.switchTo(target)
 
-	// Build the iteration load and LoRA token groups.
+	// Build the iteration load and LoRA token groups (scratch maps and
+	// slices are reused across iterations: one Step runs per
+	// scheduling round, the engine's hottest path).
 	var load lmm.IterationLoad
-	groupTokens := map[int]int{}
+	groupTokens := s.scratchGroupTokens
+	clear(groupTokens)
 	for _, r := range batch {
 		if !r.PrefillDone {
 			load.PrefillTokens += r.InputTokens - r.SharedTokens
@@ -262,10 +339,11 @@ func (s *Server) Step() (bool, error) {
 			groupTokens[r.AdapterID]++
 		}
 	}
-	groups := make([]lora.TokenGroup, 0, len(groupTokens))
+	groups := s.scratchGroups[:0]
 	for id, tok := range groupTokens {
 		groups = append(groups, lora.TokenGroup{AdapterID: id, Rank: s.adapterOf(id).Rank, Tokens: tok})
 	}
+	s.scratchGroups = groups
 
 	base := s.engine.IterationTime(load)
 	extra, err := lora.ExtraCost(s.opts.Operator, s.opts.Model, s.state.Mode, s.state.Merged, groups)
@@ -409,9 +487,91 @@ func (s *Server) ensureKVHeadroom(batch []*sched.Request) []*sched.Request {
 	return batch
 }
 
-// reject permanently fails a request whose KV footprint exceeds the
-// whole cache (it could never be scheduled).
+// dropUnhosted strips a batch of requests whose adapters the pool
+// could not make resident: oversized adapters (larger than the whole
+// pool) reject their requests permanently, while deferred adapters
+// (blocked by this iteration's pinned working set) leave their
+// requests active for a later round.
+func (s *Server) dropUnhosted(batch []*sched.Request, ce *lora.CapacityError) []*sched.Request {
+	oversized := make(map[int]bool, len(ce.Oversized))
+	for _, id := range ce.Oversized {
+		oversized[id] = true
+	}
+	deferred := make(map[int]bool, len(ce.Deferred))
+	for _, id := range ce.Deferred {
+		deferred[id] = true
+	}
+	out := batch[:0]
+	for _, r := range batch {
+		switch {
+		case oversized[r.AdapterID]:
+			s.reject(r)
+		case deferred[r.AdapterID]:
+			// Keep queued; the pool may have room next iteration.
+		default:
+			out = append(out, r)
+		}
+	}
+	s.active = filterDone(s.active)
+	return out
+}
+
+// switchTo performs a mode switch, charging the switcher's latency and
+// moving the merged-adapter pin: the merged adapter stays pinned in
+// the pool while it is folded, so the running mode's weights can never
+// be swapped out from under it.
+func (s *Server) switchTo(target lora.State) {
+	if target == s.state {
+		return
+	}
+	st := s.opts.Switcher.SwitchTime(s.state, target)
+	if st > 0 {
+		s.report.Switches++
+		s.report.SwitchTime += st
+		s.clock.Advance(st)
+	}
+	if target.Merged != s.state.Merged {
+		if s.state.Merged >= 0 {
+			s.pool.Unpin(s.state.Merged)
+		}
+		if target.Merged >= 0 {
+			s.pool.Pin(target.Merged)
+		}
+	}
+	s.state = target
+}
+
+// mergedCohortFallback is the forward-progress guarantee under
+// adapter-pool pressure: when every batched request lost its swap-in
+// to the pinned working set, the merged adapter's own cohort is still
+// servable (its weights are resident and pinned), and in both merged
+// and mixture modes a merged-cohort-only iteration is legal. Serving
+// it shrinks the cohort, so the policy eventually re-merges onto the
+// starved adapters instead of spinning.
+func (s *Server) mergedCohortFallback() []*sched.Request {
+	if s.state.Merged < 0 || !s.pool.Resident(s.state.Merged) {
+		return nil
+	}
+	var cohort []*sched.Request
+	for _, r := range s.active {
+		if r.AdapterID == s.state.Merged {
+			cohort = append(cohort, r)
+			if len(cohort) == s.opts.MaxBatch {
+				break
+			}
+		}
+	}
+	cohort = s.admit(cohort)
+	cohort = s.ensureKVHeadroom(cohort)
+	s.active = filterDone(s.active)
+	return cohort
+}
+
+// reject permanently fails a request the instance can never serve: a
+// KV footprint exceeding the whole cache, or an adapter exceeding the
+// whole adapter pool.
 func (s *Server) reject(r *sched.Request) {
+	s.kv.Release(r.ID)
 	r.Phase = sched.PhaseDone
 	r.Finish = s.clock.Now()
 	s.report.Rejected++

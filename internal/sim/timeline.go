@@ -30,13 +30,26 @@ type Process interface {
 // decisions (dispatch, load inspection) observe a causally consistent
 // global order. Ties go to external events, then to the lowest-index
 // process, keeping runs deterministic.
+//
+// Process keys are held in an indexed min-heap: selecting the next
+// process is O(log n) per turn instead of a full rescan. The timeline
+// re-reads a process's key after stepping it; a Handle callback that
+// mutates some other process's schedule (submitting a request to an
+// instance) must report that via Refresh, the decrease-key operation.
 type Timeline struct {
 	events EventQueue
 	procs  []Process
+	// at caches each process's next event time (Never = idle).
+	at []time.Duration
+	// heap holds the indices of non-idle processes ordered by (at,
+	// index); pos maps a process index to its heap slot (-1 = idle).
+	heap []int
+	pos  []int
 
 	// Handle consumes one external event when it becomes due. It runs
 	// before any process step at the same virtual time (an arrival at t
-	// must be visible to an instance deciding at t).
+	// must be visible to an instance deciding at t). Handlers that
+	// change a process's schedule must call Refresh for it.
 	Handle func(*Event) error
 }
 
@@ -45,26 +58,104 @@ func (t *Timeline) Schedule(at time.Duration, payload any) {
 	t.events.Push(at, payload)
 }
 
-// Add registers a process on the timeline.
-func (t *Timeline) Add(p Process) { t.procs = append(t.procs, p) }
+// Add registers a process on the timeline and returns its index (the
+// handle Refresh takes). Indices are assigned in registration order.
+func (t *Timeline) Add(p Process) int {
+	i := len(t.procs)
+	t.procs = append(t.procs, p)
+	t.at = append(t.at, Never)
+	t.pos = append(t.pos, -1)
+	t.Refresh(i)
+	return i
+}
 
 // Pending reports the number of external events not yet handled.
 func (t *Timeline) Pending() int { return t.events.Len() }
 
-// next returns the index of the process with the earliest next event,
-// or -1 when all processes are idle.
-func (t *Timeline) next() (int, time.Duration) {
-	best, bestAt := -1, Never
-	for i, p := range t.procs {
-		at := p.NextEventAt()
-		if at == Never {
-			continue
+// Refresh re-reads process i's NextEventAt and repositions it in the
+// heap — the decrease-key hook for external mutations (an event
+// handler submitting work to an idle instance). The timeline calls it
+// itself after stepping a process.
+func (t *Timeline) Refresh(i int) {
+	at := t.procs[i].NextEventAt()
+	t.at[i] = at
+	switch {
+	case at == Never:
+		if t.pos[i] >= 0 {
+			t.hremove(i)
 		}
-		if best < 0 || at < bestAt {
-			best, bestAt = i, at
-		}
+	case t.pos[i] < 0:
+		t.hpush(i)
+	default:
+		x := t.pos[i]
+		t.hup(x)
+		t.hdown(t.pos[i])
 	}
-	return best, bestAt
+}
+
+// hless orders process indices by (cached key, index).
+func (t *Timeline) hless(a, b int) bool {
+	if t.at[a] != t.at[b] {
+		return t.at[a] < t.at[b]
+	}
+	return a < b
+}
+
+// hswap exchanges two heap slots, keeping pos in sync.
+func (t *Timeline) hswap(x, y int) {
+	t.heap[x], t.heap[y] = t.heap[y], t.heap[x]
+	t.pos[t.heap[x]] = x
+	t.pos[t.heap[y]] = y
+}
+
+func (t *Timeline) hup(x int) {
+	for x > 0 {
+		parent := (x - 1) / 2
+		if !t.hless(t.heap[x], t.heap[parent]) {
+			return
+		}
+		t.hswap(x, parent)
+		x = parent
+	}
+}
+
+func (t *Timeline) hdown(x int) {
+	n := len(t.heap)
+	for {
+		left := 2*x + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && t.hless(t.heap[right], t.heap[left]) {
+			least = right
+		}
+		if !t.hless(t.heap[least], t.heap[x]) {
+			return
+		}
+		t.hswap(x, least)
+		x = least
+	}
+}
+
+func (t *Timeline) hpush(i int) {
+	t.heap = append(t.heap, i)
+	t.pos[i] = len(t.heap) - 1
+	t.hup(t.pos[i])
+}
+
+func (t *Timeline) hremove(i int) {
+	x := t.pos[i]
+	last := len(t.heap) - 1
+	if x != last {
+		t.hswap(x, last)
+	}
+	t.heap = t.heap[:last]
+	t.pos[i] = -1
+	if x < last {
+		t.hup(x)
+		t.hdown(t.pos[t.heap[x]])
+	}
 }
 
 // Run drains the timeline: external events and process steps execute
@@ -72,7 +163,11 @@ func (t *Timeline) next() (int, time.Duration) {
 // idle.
 func (t *Timeline) Run() error {
 	for {
-		proc, procAt := t.next()
+		proc, procAt := -1, Never
+		if len(t.heap) > 0 {
+			proc = t.heap[0]
+			procAt = t.at[proc]
+		}
 		e := t.events.Peek()
 		if e != nil && (proc < 0 || e.At <= procAt) {
 			t.events.Pop()
@@ -97,5 +192,6 @@ func (t *Timeline) Run() error {
 			// would spin the loop forever.
 			return fmt.Errorf("sim: process %d advertised an event at %v but made no progress", proc, procAt)
 		}
+		t.Refresh(proc)
 	}
 }

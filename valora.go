@@ -246,6 +246,14 @@ func VideoWorkload(streams int, duration time.Duration, adapters int, skew float
 	return workload.GenVideo(workload.DefaultVideo(streams, duration, adapters, skew, seed))
 }
 
+// StressWorkload synthesizes n deliberately small requests at a high
+// arrival rate — the trace behind the million-requests experiment,
+// sized to measure the simulator's own hot paths rather than any
+// application scenario. Same seed, same trace.
+func StressWorkload(n int, seed int64) Trace {
+	return workload.GenStress(workload.DefaultStress(n, seed))
+}
+
 // Knowledge is one domain dataset to integrate, with its accuracy
 // floor.
 type Knowledge struct {
