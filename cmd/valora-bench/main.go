@@ -35,7 +35,7 @@ func main() {
 	suite.OutDir = *outDir
 	if *list {
 		for _, e := range suite.All() {
-			fmt.Println(e.ID)
+			fmt.Printf("%-18s %s\n", e.ID, e.Desc)
 		}
 		return
 	}

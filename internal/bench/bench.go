@@ -102,44 +102,47 @@ func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
 
 func f2(f float64) string { return fmt.Sprintf("%.2f", f) }
 
-// Experiment couples an ID with its driver for RunAll.
+// Experiment couples an ID with its driver and a one-line description
+// (shown by valora-bench -list) for RunAll.
 type Experiment struct {
-	ID  string
-	Run func() (*Table, error)
+	ID   string
+	Desc string
+	Run  func() (*Table, error)
 }
 
 // All lists every experiment in presentation order.
 func (s *Suite) All() []Experiment {
 	return []Experiment{
-		{"fig03", s.Fig03ZeroShot},
-		{"fig04", s.Fig04LoRAGain},
-		{"fig05", s.Fig05FusionCapacity},
-		{"fig10", s.Fig10FusionWalkthrough},
-		{"swap", s.SwapLatency},
-		{"fig06", s.Fig06UnmergedOverhead},
-		{"fig07", s.Fig07SwitchCost},
-		{"table1", s.Table1AdaptiveTiling},
-		{"fig12", s.Fig12TileAnalysis},
-		{"search", s.TilingSearchStats},
-		{"fig14", s.Fig14EndToEnd},
-		{"fig15", s.Fig15Accuracy},
-		{"fig16", s.Fig16TaskHead},
-		{"fig17", s.Fig17OperatorLatency},
-		{"fig18", s.Fig18OperatorStability},
-		{"fig19", s.Fig19Scheduler},
-		{"fig20", s.Fig20MixtureMode},
-		{"fig21", s.Fig21SwiftSwitch},
-		{"fig22", s.Fig22SkewE2E},
-		{"fig23", s.Fig23AdapterCount},
-		{"table3", s.Table3MultiGPU},
-		{"cluster-dispatch", s.ClusterDispatch},
-		{"million-requests", s.MillionRequests},
-		{"fig24", s.Fig24PrefixCache},
-		{"switcher", s.SwitcherMicro},
-		{"ablation-tiling", s.AblationStaticTiling},
-		{"ablation-mixture", s.AblationNoMixture},
-		{"ablation-switch", s.AblationSlowSwitch},
-		{"ablation-memory", s.AblationMemory},
+		{"fig03", "zero-shot LMM accuracy on vision tasks (motivation)", s.Fig03ZeroShot},
+		{"fig04", "LoRA fine-tuning accuracy gain per task", s.Fig04LoRAGain},
+		{"fig05", "knowledge-fusion capacity vs accuracy floors", s.Fig05FusionCapacity},
+		{"fig10", "fusion algorithm walkthrough on one task mix", s.Fig10FusionWalkthrough},
+		{"swap", "adapter host-device swap latency", s.SwapLatency},
+		{"fig06", "unmerged-mode LoRA compute overhead", s.Fig06UnmergedOverhead},
+		{"fig07", "naive merge/unmerge switch cost", s.Fig07SwitchCost},
+		{"table1", "adaptive-tiling ATMM vs fixed tiles", s.Table1AdaptiveTiling},
+		{"fig12", "tile-shape analysis across batch mixes", s.Fig12TileAnalysis},
+		{"search", "offline tiling-search statistics", s.TilingSearchStats},
+		{"fig14", "end-to-end avg token latency, 4 systems x 3 LMMs", s.Fig14EndToEnd},
+		{"fig15", "serving accuracy parity across systems", s.Fig15Accuracy},
+		{"fig16", "LM head vs vision task head latency", s.Fig16TaskHead},
+		{"fig17", "batching operator latency comparison", s.Fig17OperatorLatency},
+		{"fig18", "operator latency stability across shapes", s.Fig18OperatorStability},
+		{"fig19", "scheduling policies under varying skew", s.Fig19Scheduler},
+		{"fig20", "deLoRA mixture-mode contribution", s.Fig20MixtureMode},
+		{"fig21", "swift switcher vs dLoRA switcher", s.Fig21SwiftSwitch},
+		{"fig22", "end-to-end impact of request skewness", s.Fig22SkewE2E},
+		{"fig23", "scaling the registered adapter count", s.Fig23AdapterCount},
+		{"table3", "throughput scaling across 1/2/4 GPUs", s.Table3MultiGPU},
+		{"cluster-dispatch", "cluster dispatch policies on the shared timeline", s.ClusterDispatch},
+		{"million-requests", "simulator stress: 1M-request replay wall-clock", s.MillionRequests},
+		{"multi-tenant", "fair-share vs FIFO SLO attainment, 3 tenants + autoscaler", s.MultiTenant},
+		{"fig24", "prefix-cache ablation on multi-round retrieval", s.Fig24PrefixCache},
+		{"switcher", "switcher microbenchmark", s.SwitcherMicro},
+		{"ablation-tiling", "ATMM with static tiling", s.AblationStaticTiling},
+		{"ablation-mixture", "VaLoRA without the mixture mode", s.AblationNoMixture},
+		{"ablation-switch", "VaLoRA with the slow switcher", s.AblationSlowSwitch},
+		{"ablation-memory", "unified vs copy-based adapter memory", s.AblationMemory},
 	}
 }
 

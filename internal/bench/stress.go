@@ -37,6 +37,14 @@ type StressRecord struct {
 	VirtualRPS   float64 `json:"virtual_rps"`
 	VirtualP50MS float64 `json:"virtual_p50_ms"`
 	VirtualP99MS float64 `json:"virtual_p99_ms"`
+
+	// Multi-tenant experiment fields (absent on stress records).
+	Mode       string             `json:"mode,omitempty"`
+	TenantSLO  map[string]float64 `json:"tenant_slo,omitempty"`
+	Jain       float64            `json:"jain,omitempty"`
+	Shed       int                `json:"shed,omitempty"`
+	ScaleUps   int                `json:"scale_ups,omitempty"`
+	ScaleDowns int                `json:"scale_downs,omitempty"`
 }
 
 // BenchServingFile is the trajectory file the stress experiment
@@ -52,6 +60,13 @@ func (s *Suite) stressSize() int {
 	return 1_000_000
 }
 
+// stressLatencySampleCap bounds each instance's latency-stream
+// reservoir on stress runs. It is far above the per-instance sample
+// count of the 1M-request replay (≈250k on 4 instances), so today's
+// percentiles stay exact sample-for-sample while 10M+-request replays
+// stop growing memory with the trace.
+const stressLatencySampleCap = 1 << 20
+
 // MillionRequests is the stress scenario of the O(1) hot-path rework:
 // it replays ≥1M small requests across a 4-instance VaLoRA cluster on
 // the shared virtual timeline and measures the simulator's wall-clock
@@ -63,7 +78,14 @@ func (s *Suite) MillionRequests() (*Table, error) {
 	n := s.stressSize()
 	dispatch := serving.NewRoundRobin()
 
-	cl, err := serving.NewSystemCluster(serving.SystemVaLoRA, instances, s.GPU, model, dispatch)
+	cl, err := serving.NewClusterWithDispatch(instances, dispatch, func(int) (serving.Options, error) {
+		opts, err := serving.SystemOptions(serving.SystemVaLoRA, s.GPU, model)
+		if err != nil {
+			return serving.Options{}, err
+		}
+		opts.LatencySampleCap = stressLatencySampleCap
+		return opts, nil
+	})
 	if err != nil {
 		return nil, err
 	}

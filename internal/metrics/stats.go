@@ -10,27 +10,71 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"time"
 )
 
 // Stream accumulates scalar samples and answers mean / percentile /
-// min / max queries. Samples are retained so that exact percentiles can
-// be computed; experiments in this repository record at most a few
-// hundred thousand samples, which keeps retention cheap.
+// min / max queries. The default (NewStream) retains every sample so
+// percentiles are exact; experiments recording at most a few hundred
+// thousand samples keep that cheap. NewBoundedStream caps retention
+// with a reservoir for multi-million-sample stress runs: count, sum,
+// mean, min and max stay exact, while percentiles degrade gracefully
+// to a uniform-sample estimate once the reservoir overflows (and stay
+// exact until then).
 type Stream struct {
 	samples []float64
 	sum     float64
 	sorted  bool
+
+	// cap > 0 selects bounded-memory reservoir mode (NewBoundedStream);
+	// 0 means unbounded exact retention.
+	cap int
+	// seen counts samples offered, including ones the reservoir
+	// dropped; minV/maxV track the exact extremes in both modes so
+	// Min/Max (and Merge) never depend on reservoir survival.
+	seen int
+	minV float64
+	maxV float64
+	rng  *rand.Rand
 }
 
-// NewStream returns an empty sample stream.
+// NewStream returns an empty sample stream with unbounded exact
+// retention.
 func NewStream() *Stream { return &Stream{} }
+
+// NewBoundedStream returns a stream that retains at most cap samples
+// (Vitter's Algorithm R reservoir; deterministic seed so replays are
+// reproducible). cap <= 0 falls back to unbounded retention.
+func NewBoundedStream(cap int) *Stream {
+	if cap <= 0 {
+		return NewStream()
+	}
+	return &Stream{cap: cap, rng: rand.New(rand.NewSource(1))}
+}
 
 // Add records one sample.
 func (s *Stream) Add(v float64) {
-	s.samples = append(s.samples, v)
+	s.seen++
 	s.sum += v
+	if s.seen == 1 || v < s.minV {
+		s.minV = v
+	}
+	if s.seen == 1 || v > s.maxV {
+		s.maxV = v
+	}
+	if s.cap > 0 {
+		if len(s.samples) < s.cap {
+			s.samples = append(s.samples, v)
+		} else if j := s.rng.Intn(s.seen); j < s.cap {
+			s.samples[j] = v
+		} else {
+			return // dropped; retained set unchanged, stays sorted
+		}
+	} else {
+		s.samples = append(s.samples, v)
+	}
 	s.sorted = false
 }
 
@@ -39,36 +83,42 @@ func (s *Stream) AddDuration(d time.Duration) {
 	s.Add(float64(d) / float64(time.Millisecond))
 }
 
-// Count reports the number of recorded samples.
-func (s *Stream) Count() int { return len(s.samples) }
+// Count reports the number of recorded samples (including any the
+// reservoir dropped in bounded mode: counting stays exact).
+func (s *Stream) Count() int { return s.seen }
 
-// Sum reports the sum of all recorded samples.
+// Retained reports the number of samples held in memory (== Count for
+// unbounded streams, ≤ the cap for bounded ones).
+func (s *Stream) Retained() int { return len(s.samples) }
+
+// Sum reports the exact sum of all recorded samples.
 func (s *Stream) Sum() float64 { return s.sum }
 
-// Mean reports the arithmetic mean, or 0 for an empty stream.
+// Mean reports the arithmetic mean, or 0 for an empty stream. Exact in
+// both modes (sum and count are tracked outside the reservoir).
 func (s *Stream) Mean() float64 {
-	if len(s.samples) == 0 {
+	if s.seen == 0 {
 		return 0
 	}
-	return s.sum / float64(len(s.samples))
+	return s.sum / float64(s.seen)
 }
 
-// Min reports the smallest sample, or 0 for an empty stream.
+// Min reports the smallest sample, or 0 for an empty stream. Exact in
+// both modes.
 func (s *Stream) Min() float64 {
-	if len(s.samples) == 0 {
+	if s.seen == 0 {
 		return 0
 	}
-	s.ensureSorted()
-	return s.samples[0]
+	return s.minV
 }
 
-// Max reports the largest sample, or 0 for an empty stream.
+// Max reports the largest sample, or 0 for an empty stream. Exact in
+// both modes.
 func (s *Stream) Max() float64 {
-	if len(s.samples) == 0 {
+	if s.seen == 0 {
 		return 0
 	}
-	s.ensureSorted()
-	return s.samples[len(s.samples)-1]
+	return s.maxV
 }
 
 // Percentile reports the p-th percentile (0 <= p <= 100) using linear
@@ -111,17 +161,47 @@ func (s *Stream) StdDev() float64 {
 	return math.Sqrt(ss / float64(n))
 }
 
-// Merge folds all samples of other into s.
+// Merge folds all samples of other into s. Sum, count, min and max
+// merge exactly in every mode combination. Retained samples append
+// when s is unbounded; a bounded s folds them through its reservoir
+// (percentiles then estimate the merged population from other's
+// retained subset — exact whenever other never overflowed).
 func (s *Stream) Merge(other *Stream) {
-	s.samples = append(s.samples, other.samples...)
+	wasEmpty := s.seen == 0
+	if s.cap > 0 {
+		for _, v := range other.samples {
+			if len(s.samples) < s.cap {
+				s.samples = append(s.samples, v)
+			} else if j := s.rng.Intn(s.seen + 1); j < s.cap {
+				s.samples[j] = v
+			}
+			s.seen++
+		}
+		// Count what other actually saw, not just what it retained.
+		s.seen += other.seen - len(other.samples)
+	} else {
+		s.samples = append(s.samples, other.samples...)
+		s.seen += other.seen
+	}
+	if other.seen > 0 {
+		if wasEmpty || other.minV < s.minV {
+			s.minV = other.minV
+		}
+		if wasEmpty || other.maxV > s.maxV {
+			s.maxV = other.maxV
+		}
+	}
 	s.sum += other.sum
 	s.sorted = false
 }
 
-// Reset discards all recorded samples.
+// Reset discards all recorded samples (the reservoir cap, if any, is
+// kept).
 func (s *Stream) Reset() {
 	s.samples = s.samples[:0]
 	s.sum = 0
+	s.seen = 0
+	s.minV, s.maxV = 0, 0
 	s.sorted = true
 }
 
@@ -166,6 +246,23 @@ func (s *Stream) Summarize() Summary {
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p90=%.3f p95=%.3f p99=%.3f min=%.3f max=%.3f",
 		s.Count, s.Mean, s.P50, s.P90, s.P95, s.P99, s.Min, s.Max)
+}
+
+// JainIndex reports Jain's fairness index over per-entity allocations:
+// (Σx)² / (n·Σx²), in (0, 1] with 1 meaning perfectly equal shares.
+// The multi-tenant report feeds it weight-normalized per-tenant
+// service, so 1 means every tenant got exactly its configured share.
+// Empty or all-zero inputs report 1 (nothing was served unfairly).
+func JainIndex(xs []float64) float64 {
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if len(xs) == 0 || sumsq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
 }
 
 // Histogram counts samples into fixed-width buckets over [lo, hi).

@@ -47,6 +47,13 @@ type Request struct {
 	AdapterID int
 	Head      train.HeadKind
 
+	// Tenant names the service class the request belongs to ("" =
+	// untenanted legacy traffic, which bypasses the fair-share layer).
+	Tenant string
+	// Priority orders tenants for reporting and tie-breaks; higher is
+	// more latency-sensitive. Scheduling weight lives in TenantConfig.
+	Priority int
+
 	InputTokens  int
 	OutputTokens int // decode rounds the answer needs (head-dependent)
 	Images       int

@@ -20,6 +20,13 @@ import (
 type Cluster struct {
 	servers  []*Server
 	dispatch DispatchPolicy
+
+	// Managed (SLO-aware) mode, set by NewManagedCluster: sched holds
+	// the tenancy/admission/autoscaling configuration and build the
+	// options factory the autoscaler uses to grow the fleet. nil sched
+	// keeps the original stateless-dispatch behavior exactly.
+	sched *SchedulingConfig
+	build func(i int) (Options, error)
 }
 
 // NewCluster builds n identical instances from an options factory
@@ -73,8 +80,14 @@ func (c *Cluster) Instances() []*Server {
 // instance steps interleave in global virtual-time order. The
 // aggregate report sums counters across instances, merges latency
 // percentile streams, and measures throughput as total completions
-// over the longest instance makespan.
+// over the longest instance makespan. Managed clusters
+// (NewManagedCluster) route arrivals through admission, the
+// fair-share queue and the autoscaler instead of dispatching
+// statelessly at arrival.
 func (c *Cluster) Run(trace workload.Trace) (*Report, error) {
+	if c.sched != nil {
+		return c.runManaged(trace)
+	}
 	tl := &sim.Timeline{}
 	tl.Handle = func(e *sim.Event) error {
 		r := e.Payload.(*sched.Request)
@@ -108,8 +121,15 @@ func (c *Cluster) Run(trace workload.Trace) (*Report, error) {
 		reports[i] = rep
 	}
 
+	return c.aggregate(reports, fmt.Sprintf("%s x%d [%s]", c.servers[0].Name(), len(c.servers), c.dispatch.Name())), nil
+}
+
+// aggregate folds per-instance reports into one cluster report:
+// counters sum, latency percentile streams merge, throughput is total
+// completions over the longest instance makespan.
+func (c *Cluster) aggregate(reports []*Report, system string) *Report {
 	agg := &Report{
-		System:         fmt.Sprintf("%s x%d [%s]", c.servers[0].Name(), len(c.servers), c.dispatch.Name()),
+		System:         system,
 		Model:          reports[0].Model,
 		ModeIterations: make(map[string]int),
 	}
@@ -135,5 +155,5 @@ func (c *Cluster) Run(trace workload.Trace) (*Report, error) {
 	// Unweighted mean across instances: informational in aggregates
 	// (per-instance lookup volumes are not part of the report).
 	agg.PrefixHitRate = hitRate / float64(len(c.servers))
-	return agg, nil
+	return agg
 }

@@ -23,7 +23,11 @@ type Report struct {
 	// Rejected counts requests whose prompt exceeded the whole KV
 	// cache (never servable on this instance).
 	Rejected int
-	SimTime  time.Duration
+	// Shed counts requests dropped by the cluster admission stage
+	// before reaching any instance: per-tenant queue caps, hopeless
+	// deadlines at arrival, and deadlines that expired while queued.
+	Shed    int
+	SimTime time.Duration
 
 	// AvgTokenLatency is the paper's headline metric (§6.1): the sum
 	// of request end-to-end latencies divided by the total number of
@@ -49,6 +53,53 @@ type Report struct {
 	PrefixHitRate  float64
 	DeadlineMisses int
 	DeadlineTotal  int
+
+	// Multi-tenant accounting, populated by managed (SLO-aware)
+	// cluster runs; empty otherwise.
+	Tenants []TenantReport
+	// FairnessIndex is Jain's index over weight-normalized per-tenant
+	// service (1 = every tenant got exactly its configured share).
+	FairnessIndex float64
+	// Autoscaler activity during the run.
+	ScaleUps   int
+	ScaleDowns int
+	// PeakInstances is the largest concurrently-active fleet size.
+	PeakInstances int
+}
+
+// TenantReport is one tenant's slice of a managed cluster run.
+type TenantReport struct {
+	Name     string
+	Priority int
+	// Submitted counts the tenant's trace arrivals; Completed the
+	// requests served to completion; Shed the admission-stage drops;
+	// Rejected the instance-level permanent rejections.
+	Submitted int
+	Completed int
+	Shed      int
+	Rejected  int
+	// SLOMet / SLOTotal: deadline-carrying requests that finished
+	// within their deadline, over all deadline-carrying arrivals
+	// (shed deadline-carrying requests count as misses).
+	SLOMet   int
+	SLOTotal int
+	// E2E summarizes the tenant's end-to-end latencies (ms).
+	E2E metrics.Summary
+	// ServedShare is the tenant's fraction of the charged work.
+	ServedShare float64
+	// Throughput is the tenant's completed requests per simulated
+	// second of the aggregate makespan.
+	Throughput float64
+}
+
+// SLOAttainment reports the fraction of the tenant's deadline-carrying
+// requests that completed within deadline (1 when the tenant is
+// entirely best-effort).
+func (t TenantReport) SLOAttainment() float64 {
+	if t.SLOTotal == 0 {
+		return 1
+	}
+	return float64(t.SLOMet) / float64(t.SLOTotal)
 }
 
 // Merge folds another instance's counters into r: counts and times
@@ -60,6 +111,9 @@ func (r *Report) Merge(other *Report) {
 	r.Requests += other.Requests
 	r.Completed += other.Completed
 	r.Rejected += other.Rejected
+	r.Shed += other.Shed
+	r.ScaleUps += other.ScaleUps
+	r.ScaleDowns += other.ScaleDowns
 	r.Iterations += other.Iterations
 	r.Switches += other.Switches
 	r.SwitchTime += other.SwitchTime
@@ -100,5 +154,13 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  %d iterations (modes %v), %d switches (%v), swap stall %v, prefix hit %.0f%%\n",
 		r.Iterations, r.ModeIterations, r.Switches, r.SwitchTime.Round(time.Microsecond),
 		r.SwapStall.Round(time.Microsecond), 100*r.PrefixHitRate)
+	if len(r.Tenants) > 0 {
+		fmt.Fprintf(&b, "  fairness (Jain) %.3f, shed %d, scale +%d/-%d (peak %d instances)\n",
+			r.FairnessIndex, r.Shed, r.ScaleUps, r.ScaleDowns, r.PeakInstances)
+		for _, t := range r.Tenants {
+			fmt.Fprintf(&b, "  tenant %-12s slo %5.1f%%  completed %d shed %d  p99 %.1f ms  share %.0f%%\n",
+				t.Name, 100*t.SLOAttainment(), t.Completed, t.Shed, t.E2E.P99, 100*t.ServedShare)
+		}
+	}
 	return b.String()
 }

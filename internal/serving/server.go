@@ -44,6 +44,11 @@ type Options struct {
 	AsyncSwap bool
 	// ContiguousMemory is the pre-allocated weight layout of §4.4.1.
 	ContiguousMemory bool
+	// LatencySampleCap bounds the retained samples of the latency
+	// percentile streams (reservoir mode; see metrics.NewBoundedStream).
+	// 0 keeps exact unbounded retention. Stress runs replaying millions
+	// of requests set it so the streams stop growing with the trace.
+	LatencySampleCap int
 }
 
 func (o *Options) withDefaults() error {
@@ -112,6 +117,11 @@ type Server struct {
 	latencySum time.Duration
 	tokensOut  int
 
+	// tenants accumulates per-tenant completion stats; only populated
+	// when requests carry a Tenant label (managed cluster runs), so
+	// untenanted traces pay nothing.
+	tenants map[string]*tenantStat
+
 	// capacityStalls counts consecutive scheduling rounds in which
 	// capacity pressure emptied the batch; bounded by
 	// maxCapacityStalls so a configuration deadlock surfaces as an
@@ -133,6 +143,29 @@ type Server struct {
 // reports a capacity deadlock.
 const maxCapacityStalls = 10000
 
+// tenantStat is one tenant's per-instance completion accounting; the
+// managed cluster merges these across instances into TenantReports.
+type tenantStat struct {
+	completed int
+	rejected  int
+	sloMet    int
+	sloTotal  int
+	e2e       *metrics.Stream
+}
+
+// tenantStatOf lazily creates the per-tenant accumulator.
+func (s *Server) tenantStatOf(name string) *tenantStat {
+	if s.tenants == nil {
+		s.tenants = make(map[string]*tenantStat)
+	}
+	ts, ok := s.tenants[name]
+	if !ok {
+		ts = &tenantStat{e2e: metrics.NewBoundedStream(s.opts.LatencySampleCap)}
+		s.tenants[name] = ts
+	}
+	return ts
+}
+
 // NewServer builds a serving instance.
 func NewServer(opts Options) (*Server, error) {
 	if err := opts.withDefaults(); err != nil {
@@ -145,8 +178,8 @@ func NewServer(opts Options) (*Server, error) {
 		prefix: lmm.NewPrefixCache(opts.PrefixCacheImages),
 		pool:   lora.NewPool(opts.GPU, opts.AdapterPoolBytes, opts.AsyncSwap, opts.ContiguousMemory),
 		state:  lora.State{Mode: lora.ModeUnmerged, Merged: -1},
-		e2e:    metrics.NewStream(),
-		ttft:   metrics.NewStream(),
+		e2e:    metrics.NewBoundedStream(opts.LatencySampleCap),
+		ttft:   metrics.NewBoundedStream(opts.LatencySampleCap),
 
 		scratchSeen:        make(map[int]bool),
 		scratchGroupTokens: make(map[int]int),
@@ -575,6 +608,13 @@ func (s *Server) reject(r *sched.Request) {
 	r.Phase = sched.PhaseDone
 	r.Finish = s.clock.Now()
 	s.report.Rejected++
+	if r.Tenant != "" {
+		ts := s.tenantStatOf(r.Tenant)
+		ts.rejected++
+		if r.Deadline > 0 {
+			ts.sloTotal++ // a rejected deadline request is a miss
+		}
+	}
 }
 
 // preempt releases a request's KV; it will re-prefill (prompt + tokens
@@ -598,6 +638,17 @@ func (s *Server) finish(r *sched.Request) {
 		s.report.DeadlineTotal++
 		if lat > r.Deadline {
 			s.report.DeadlineMisses++
+		}
+	}
+	if r.Tenant != "" {
+		ts := s.tenantStatOf(r.Tenant)
+		ts.completed++
+		ts.e2e.AddDuration(lat)
+		if r.Deadline > 0 {
+			ts.sloTotal++
+			if lat <= r.Deadline {
+				ts.sloMet++
+			}
 		}
 	}
 }
@@ -624,6 +675,13 @@ func (s *Server) Name() string { return s.opts.Name }
 // Now reports the instance's current virtual time. Online submitters
 // stamp request arrivals with it.
 func (s *Server) Now() time.Duration { return s.clock.Now() }
+
+// AdvanceClockTo fast-forwards an idle instance's clock (no-op when
+// the clock is already past t). The autoscaler calls it when adding an
+// instance mid-run: a fresh server's clock starts at 0, and without
+// the sync it would serve the queued backlog "in the past", stamping
+// completions before the scale-up decision and understating latency.
+func (s *Server) AdvanceClockTo(t time.Duration) { s.clock.AdvanceTo(t) }
 
 // InFlight counts requests submitted but not yet finished (pending +
 // waiting + admitted); dispatch policies use it as the load signal.

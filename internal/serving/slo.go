@@ -1,0 +1,400 @@
+package serving
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"valora/internal/lmm"
+	"valora/internal/metrics"
+	"valora/internal/sched"
+	"valora/internal/sim"
+	"valora/internal/simgpu"
+	"valora/internal/workload"
+)
+
+// AutoscaleConfig shapes the elastic-fleet policy of a managed
+// cluster: instances are added while the cluster-level queue stays
+// above HighDepth and retired (drained, then removed from the
+// timeline) while it stays below LowDepth, with a cooldown between
+// scaling actions so the hysteresis band is honoured in virtual time.
+type AutoscaleConfig struct {
+	// Min and Max bound the active fleet size.
+	Min int
+	Max int
+	// HighDepth/LowDepth are the queue-depth hysteresis thresholds.
+	HighDepth int
+	LowDepth  int
+	// Cooldown is the minimum virtual time between scaling actions.
+	Cooldown time.Duration
+}
+
+func (a AutoscaleConfig) withDefaults() AutoscaleConfig {
+	if a.Min < 1 {
+		a.Min = 1
+	}
+	if a.Max < a.Min {
+		a.Max = a.Min
+	}
+	if a.HighDepth <= 0 {
+		a.HighDepth = 64
+	}
+	if a.LowDepth < 0 || a.LowDepth >= a.HighDepth {
+		a.LowDepth = a.HighDepth / 4
+	}
+	if a.Cooldown <= 0 {
+		a.Cooldown = 2 * time.Second
+	}
+	return a
+}
+
+// SchedulingConfig turns a Cluster into a tenant-aware resource
+// manager: arrivals pass an admission stage (per-tenant queue caps,
+// hopeless-deadline shedding) into a cluster-level TenantQueue, and a
+// placement stage dispatches the fair-share pick to an instance with
+// headroom (the DispatchPolicy is consulted after the fair-share pick,
+// over the instances that can actually accept work).
+type SchedulingConfig struct {
+	// Tenants declares the service classes (weights, burst credit,
+	// queue caps). Requests for undeclared tenants are auto-registered
+	// with weight 1.
+	Tenants []sched.TenantConfig
+	// FairShare selects the deficit-weighted fair-share picker; false
+	// degrades to plain FIFO dispatch (the baseline the multi-tenant
+	// experiment measures against). Admission and backpressure stay
+	// identical in both modes so the comparison isolates the picker.
+	FairShare bool
+	// HighWater is the per-instance in-flight backpressure bound:
+	// requests stay in the cluster queue (where the fair-share order
+	// can still be revised) until an instance drops below it. Default
+	// 32 (one full batch).
+	HighWater int
+	// EstimateService, when set, is the admission stage's
+	// hopeless-deadline test: a request whose estimated floor service
+	// time exceeds its deadline is shed at arrival. See ServiceFloor.
+	EstimateService func(*sched.Request) time.Duration
+	// Autoscale, when set, lets the run grow and shrink the fleet.
+	Autoscale *AutoscaleConfig
+}
+
+// ServiceFloor builds an admission-time lower bound on a request's
+// service time: its prefill plus its remaining decode rounds, run
+// alone on an idle instance. A deadline below this floor cannot be met
+// by any placement, so admission sheds the request immediately instead
+// of letting it waste queue slots and engine iterations.
+func ServiceFloor(g *simgpu.GPU, model lmm.Config) func(*sched.Request) time.Duration {
+	eng := lmm.NewEngine(g, model)
+	return func(r *sched.Request) time.Duration {
+		t := eng.PrefillTime(r.InputTokens, r.Images)
+		if r.OutputTokens > 1 {
+			t += time.Duration(r.OutputTokens-1) * eng.DecodeStepTime(1, r.InputTokens)
+		}
+		return t
+	}
+}
+
+// NewManagedCluster builds a tenant-aware cluster: n initial instances
+// from the options factory, routed by dispatch within the admission +
+// fair-share machinery of cfg. The factory is retained so the
+// autoscaler can build additional instances mid-run. Note that
+// dispatch policies see only the instances with headroom at each
+// placement, so stateful policies keyed on instance position
+// (AdapterAffinity) lose their pinning here; round-robin and
+// least-loaded compose cleanly.
+func NewManagedCluster(n int, dispatch DispatchPolicy, cfg SchedulingConfig, build func(i int) (Options, error)) (*Cluster, error) {
+	c, err := NewClusterWithDispatch(n, dispatch, build)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.HighWater <= 0 {
+		cfg.HighWater = 32
+	}
+	if cfg.Autoscale != nil {
+		as := cfg.Autoscale.withDefaults()
+		cfg.Autoscale = &as
+	}
+	c.build = build
+	c.sched = &cfg
+	return c, nil
+}
+
+// runManaged is the managed counterpart of Run: arrivals pass
+// admission into the cluster-level TenantQueue; placement drains the
+// queue to instances below the high-water mark whenever an arrival or
+// an instance step changes the picture; the autoscaler adds and
+// retires instances on the same timeline.
+func (c *Cluster) runManaged(trace workload.Trace) (*Report, error) {
+	cfg := c.sched
+	tq := sched.NewTenantQueue(cfg.FairShare, cfg.Tenants...)
+	tl := &sim.Timeline{}
+
+	// Per-instance lifecycle, index-aligned with c.servers and the
+	// timeline: draining instances accept no placements; retired ones
+	// have been removed from the timeline.
+	type instanceState struct{ draining, retired bool }
+	state := make([]instanceState, len(c.servers))
+	activeCount := len(c.servers)
+	peak := activeCount
+	var lastScale time.Duration
+	scaledYet := false
+
+	submitted := make(map[string]int)
+	shedByTenant := make(map[string]int)
+	shedSLO := make(map[string]int)
+	var shedTotal, scaleUps, scaleDowns int
+
+	shed := func(r *sched.Request, now time.Duration) {
+		r.Phase = sched.PhaseDone
+		r.Finish = now
+		shedTotal++
+		shedByTenant[r.Tenant]++
+		if r.Deadline > 0 {
+			shedSLO[r.Tenant]++
+		}
+	}
+
+	var cands []int
+	var candServers []*Server
+	dispatchQueued := func(now time.Duration) error {
+		// Purge dead requests first, even when no instance has headroom:
+		// expired entries must not hold QueueCap slots against fresh,
+		// still-serviceable arrivals under full backpressure.
+		tq.ShedExpired(now, func(r *sched.Request) { shed(r, now) })
+		for tq.Len() > 0 {
+			cands = cands[:0]
+			for i, srv := range c.servers {
+				if !state[i].draining && !state[i].retired && srv.InFlight() < cfg.HighWater {
+					cands = append(cands, i)
+				}
+			}
+			if len(cands) == 0 {
+				return nil // backpressure: leave the order revisable in the queue
+			}
+			r := tq.Pop()
+			if r == nil {
+				return nil
+			}
+			if r.Deadline > 0 && now > r.Arrival+r.Deadline {
+				// Expired while queued: dispatching it would burn an
+				// instance on a guaranteed SLO miss. Shed without
+				// charging the tenant — shed work is not service.
+				shed(r, now)
+				continue
+			}
+			candServers = candServers[:0]
+			for _, i := range cands {
+				candServers = append(candServers, c.servers[i])
+			}
+			j := c.dispatch.Pick(r, candServers)
+			if j < 0 || j >= len(candServers) {
+				return fmt.Errorf("serving: dispatch %s picked instance %d of %d candidates", c.dispatch.Name(), j, len(candServers))
+			}
+			gi := cands[j]
+			c.servers[gi].Submit(r)
+			tq.Charge(r.Tenant, sched.RequestCost(r))
+			tl.Refresh(gi)
+		}
+		return nil
+	}
+
+	autoscale := func(now time.Duration) error {
+		as := cfg.Autoscale
+		if as == nil {
+			return nil
+		}
+		// Scale-ups may fire immediately on the first overload; retires
+		// pace off lastScale (which starts at 0, so the fleet can shrink
+		// from its initial size, but never before one Cooldown passes).
+		cooledUp := !scaledYet || now-lastScale >= as.Cooldown
+		cooledDown := now-lastScale >= as.Cooldown
+		depth := tq.Len()
+		switch {
+		case depth >= as.HighDepth && activeCount < as.Max && cooledUp:
+			opts, err := c.build(len(c.servers))
+			if err != nil {
+				return err
+			}
+			srv, err := NewServer(opts)
+			if err != nil {
+				return err
+			}
+			srv.AdvanceClockTo(now) // join at cluster time, not t=0
+			c.servers = append(c.servers, srv)
+			state = append(state, instanceState{})
+			tl.Add(srv)
+			activeCount++
+			scaleUps++
+			lastScale, scaledYet = now, true
+			if activeCount > peak {
+				peak = activeCount
+			}
+		case depth <= as.LowDepth && activeCount > as.Min && cooledDown:
+			// Retire the least-loaded active instance (newest on ties)
+			// by draining it: no further placements, removed from the
+			// timeline once its in-flight work completes.
+			pick, best := -1, 0
+			for i, srv := range c.servers {
+				if state[i].draining || state[i].retired {
+					continue
+				}
+				if load := srv.InFlight(); pick < 0 || load <= best {
+					pick, best = i, load
+				}
+			}
+			if pick >= 0 {
+				state[pick].draining = true
+				activeCount--
+				scaleDowns++
+				lastScale, scaledYet = now, true
+			}
+		}
+		for i := range state {
+			if state[i].draining && !state[i].retired && c.servers[i].InFlight() == 0 {
+				tl.Remove(i)
+				state[i].retired = true
+			}
+		}
+		return nil
+	}
+
+	tl.Handle = func(e *sim.Event) error {
+		r := e.Payload.(*sched.Request)
+		now := e.At
+		submitted[r.Tenant]++
+		tq.Touch(r.Tenant) // register even if every request below sheds
+		// Purge expired entries before the queue-cap check so a dead
+		// backlog never crowds out this (still-serviceable) arrival.
+		tq.ShedExpired(now, func(x *sched.Request) { shed(x, now) })
+		switch {
+		case cfg.EstimateService != nil && r.Deadline > 0 && cfg.EstimateService(r) > r.Deadline:
+			shed(r, now) // hopeless: no placement can meet the deadline
+		case !tq.Push(r):
+			shed(r, now) // tenant queue cap: overload isolation
+		}
+		if err := dispatchQueued(now); err != nil {
+			return err
+		}
+		return autoscale(now)
+	}
+	tl.AfterStep = func(int) error {
+		now := tl.Now()
+		if err := dispatchQueued(now); err != nil {
+			return err
+		}
+		return autoscale(now)
+	}
+
+	for _, srv := range c.servers {
+		tl.Add(srv)
+	}
+	for _, r := range trace {
+		tl.Schedule(r.Arrival, r)
+	}
+	if err := tl.Run(); err != nil {
+		return nil, err
+	}
+	if tq.Len() > 0 {
+		return nil, fmt.Errorf("serving: managed run ended with %d requests stranded in the cluster queue", tq.Len())
+	}
+
+	reports := make([]*Report, len(c.servers))
+	for i, srv := range c.servers {
+		rep, err := srv.Drain()
+		if err != nil {
+			return nil, err
+		}
+		reports[i] = rep
+	}
+
+	mode := "fifo"
+	if cfg.FairShare {
+		mode = "fair-share"
+	}
+	agg := c.aggregate(reports, fmt.Sprintf("%s x%d [%s, %s]", c.servers[0].Name(), activeCount, c.dispatch.Name(), mode))
+	agg.Requests += shedTotal // shed requests never reached an instance
+	agg.Shed = shedTotal
+	agg.ScaleUps = scaleUps
+	agg.ScaleDowns = scaleDowns
+	agg.PeakInstances = peak
+	c.fillTenantReports(agg, tq, submitted, shedByTenant, shedSLO)
+	return agg, nil
+}
+
+// fillTenantReports merges per-instance tenant stats with the
+// cluster-level admission counters into the aggregate report's
+// per-tenant rows, and computes the Jain fairness index over
+// weight-normalized service.
+func (c *Cluster) fillTenantReports(agg *Report, tq *sched.TenantQueue,
+	submitted, shedByTenant, shedSLO map[string]int) {
+
+	type acc struct {
+		completed, rejected, sloMet, sloTotal int
+		e2e                                   *metrics.Stream
+	}
+	accs := make(map[string]*acc)
+	for _, srv := range c.servers {
+		for name, ts := range srv.tenants {
+			a, ok := accs[name]
+			if !ok {
+				a = &acc{e2e: metrics.NewStream()}
+				accs[name] = a
+			}
+			a.completed += ts.completed
+			a.rejected += ts.rejected
+			a.sloMet += ts.sloMet
+			a.sloTotal += ts.sloTotal
+			a.e2e.Merge(ts.e2e)
+		}
+	}
+
+	served := tq.Served()
+	var totalServed float64
+	for _, v := range served {
+		totalServed += v
+	}
+	cfgs := tq.Tenants()
+	prio := make(map[string]int, len(cfgs))
+	weight := make(map[string]float64, len(cfgs))
+	names := make([]string, 0, len(cfgs))
+	for _, tc := range cfgs {
+		prio[tc.Name] = tc.Priority
+		weight[tc.Name] = tc.Weight
+		names = append(names, tc.Name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if prio[names[i]] != prio[names[j]] {
+			return prio[names[i]] > prio[names[j]]
+		}
+		return names[i] < names[j]
+	})
+
+	var fairness []float64
+	for _, name := range names {
+		a := accs[name]
+		if a == nil {
+			a = &acc{e2e: metrics.NewStream()}
+		}
+		tr := TenantReport{
+			Name:      name,
+			Priority:  prio[name],
+			Submitted: submitted[name],
+			Completed: a.completed,
+			Shed:      shedByTenant[name],
+			Rejected:  a.rejected,
+			SLOMet:    a.sloMet,
+			SLOTotal:  a.sloTotal + shedSLO[name],
+			E2E:       a.e2e.Summarize(),
+		}
+		if totalServed > 0 {
+			tr.ServedShare = served[name] / totalServed
+		}
+		if agg.SimTime > 0 {
+			tr.Throughput = float64(tr.Completed) / agg.SimTime.Seconds()
+		}
+		agg.Tenants = append(agg.Tenants, tr)
+		if submitted[name] > 0 {
+			fairness = append(fairness, served[name]/weight[name])
+		}
+	}
+	agg.FairnessIndex = metrics.JainIndex(fairness)
+}

@@ -1,0 +1,278 @@
+package serving
+
+import (
+	"testing"
+	"time"
+
+	"valora/internal/lmm"
+	"valora/internal/sched"
+	"valora/internal/simgpu"
+	"valora/internal/workload"
+)
+
+func managedBuild(t testing.TB) func(int) (Options, error) {
+	t.Helper()
+	return func(int) (Options, error) {
+		return SystemOptions(SystemVaLoRA, simgpu.A100(), lmm.QwenVL7B())
+	}
+}
+
+func tenantClasses() []sched.TenantConfig {
+	return workload.DefaultTenantClasses()
+}
+
+func tenantByName(rep *Report, name string) *TenantReport {
+	for i := range rep.Tenants {
+		if rep.Tenants[i].Name == name {
+			return &rep.Tenants[i]
+		}
+	}
+	return nil
+}
+
+func runManagedTrace(t *testing.T, fair bool, as *AutoscaleConfig, n int, trace workload.Trace) *Report {
+	t.Helper()
+	cfg := SchedulingConfig{
+		Tenants:   tenantClasses(),
+		FairShare: fair,
+		HighWater: 8,
+		Autoscale: as,
+	}
+	cl, err := NewManagedCluster(n, NewLeastLoaded(), cfg, managedBuild(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestManagedClusterConservation: every trace request ends exactly one
+// way — completed, rejected, or shed — and the per-tenant rows sum to
+// the aggregate.
+func TestManagedClusterConservation(t *testing.T) {
+	trace := workload.GenMultiTenant(workload.DefaultMultiTenant(8*time.Second, 1, 42))
+	rep := runManagedTrace(t, true, nil, 2, trace)
+	if got := rep.Completed + rep.Rejected + rep.Shed; got != len(trace) {
+		t.Fatalf("lost requests: %d completed + %d rejected + %d shed != %d",
+			rep.Completed, rep.Rejected, rep.Shed, len(trace))
+	}
+	if rep.Requests != len(trace) {
+		t.Fatalf("aggregate Requests %d != trace %d", rep.Requests, len(trace))
+	}
+	if len(rep.Tenants) != 3 {
+		t.Fatalf("want 3 tenant rows, got %d", len(rep.Tenants))
+	}
+	var sub, comp, shedN int
+	for _, tr := range rep.Tenants {
+		sub += tr.Submitted
+		comp += tr.Completed
+		shedN += tr.Shed
+		if tr.Submitted != tr.Completed+tr.Shed+tr.Rejected {
+			t.Errorf("tenant %s books don't balance: %d != %d+%d+%d",
+				tr.Name, tr.Submitted, tr.Completed, tr.Shed, tr.Rejected)
+		}
+	}
+	if sub != len(trace) || comp != rep.Completed || shedN != rep.Shed {
+		t.Fatalf("tenant rows don't sum to aggregate: sub=%d comp=%d shed=%d", sub, comp, shedN)
+	}
+	if rep.FairnessIndex <= 0 || rep.FairnessIndex > 1 {
+		t.Fatalf("fairness index %v out of range", rep.FairnessIndex)
+	}
+	// Priority-descending row order.
+	if rep.Tenants[0].Name != "realtime" || rep.Tenants[2].Name != "batch" {
+		t.Fatalf("tenant rows out of priority order: %v", []string{rep.Tenants[0].Name, rep.Tenants[1].Name, rep.Tenants[2].Name})
+	}
+}
+
+// TestFairShareBeatsFIFORealtimeSLO is the acceptance bar of the
+// refactor: at equal offered load, fair-share dispatch must deliver
+// strictly higher realtime SLO attainment than plain FIFO dispatch.
+// The overload comes from the batch tenant's bursts, which under FIFO
+// block the realtime class head-of-line.
+func TestFairShareBeatsFIFORealtimeSLO(t *testing.T) {
+	gen := func() workload.Trace {
+		return workload.GenMultiTenant(workload.DefaultMultiTenant(10*time.Second, 2, 7))
+	}
+	fifo := runManagedTrace(t, false, nil, 2, gen())
+	fair := runManagedTrace(t, true, nil, 2, gen())
+
+	rtFIFO, rtFair := tenantByName(fifo, "realtime"), tenantByName(fair, "realtime")
+	if rtFIFO == nil || rtFair == nil {
+		t.Fatal("realtime tenant missing from reports")
+	}
+	if rtFair.SLOAttainment() <= rtFIFO.SLOAttainment() {
+		t.Fatalf("fair-share realtime SLO %.3f must beat FIFO %.3f",
+			rtFair.SLOAttainment(), rtFIFO.SLOAttainment())
+	}
+	// Fair-share must also divide service closer to the weights.
+	if fair.FairnessIndex < fifo.FairnessIndex-0.05 {
+		t.Errorf("fair-share Jain %.3f markedly worse than FIFO %.3f", fair.FairnessIndex, fifo.FairnessIndex)
+	}
+}
+
+// TestManagedQueueCapSheds: a tiny per-tenant queue cap must shed the
+// flooding tenant without touching the others' books.
+func TestManagedQueueCapSheds(t *testing.T) {
+	cfg := SchedulingConfig{
+		Tenants: []sched.TenantConfig{
+			{Name: "realtime", Weight: 5, QueueCap: 256, Priority: 1},
+			{Name: "interactive", Weight: 3, QueueCap: 256},
+			{Name: "batch", Weight: 2, QueueCap: 2}, // absurdly tight
+		},
+		FairShare: true,
+		HighWater: 4,
+	}
+	cl, err := NewManagedCluster(1, NewLeastLoaded(), cfg, managedBuild(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.GenMultiTenant(workload.DefaultMultiTenant(6*time.Second, 2, 3))
+	rep, err := cl.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := tenantByName(rep, "batch")
+	if bt == nil || bt.Shed == 0 {
+		t.Fatalf("batch tenant should shed against its cap, got %+v", bt)
+	}
+	if rep.Completed+rep.Rejected+rep.Shed != len(trace) {
+		t.Fatalf("conservation broken under shedding")
+	}
+}
+
+// TestManagedHopelessDeadlineShedding: with a service-floor estimator
+// that exceeds every deadline, all deadline-carrying requests are shed
+// at arrival and best-effort traffic still completes.
+func TestManagedHopelessDeadlineShedding(t *testing.T) {
+	cfg := SchedulingConfig{
+		Tenants:         tenantClasses(),
+		FairShare:       true,
+		HighWater:       8,
+		EstimateService: func(*sched.Request) time.Duration { return time.Hour },
+	}
+	cl, err := NewManagedCluster(1, NewRoundRobin(), cfg, managedBuild(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.GenMultiTenant(workload.DefaultMultiTenant(4*time.Second, 0.5, 9))
+	var withDeadline int
+	for _, r := range trace {
+		if r.Deadline > 0 {
+			withDeadline++
+		}
+	}
+	rep, err := cl.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed != withDeadline {
+		t.Fatalf("shed %d, want every deadline-carrying request (%d)", rep.Shed, withDeadline)
+	}
+	bt := tenantByName(rep, "batch")
+	if bt == nil || bt.Completed == 0 || bt.Shed != 0 {
+		t.Fatalf("best-effort tenant should be untouched: %+v", bt)
+	}
+}
+
+// TestUndeclaredShedTenantStillReported: a tenant absent from
+// SchedulingConfig.Tenants whose every request is shed at admission
+// must still get a TenantReport row (auto-registration happens even
+// when nothing reaches the queue).
+func TestUndeclaredShedTenantStillReported(t *testing.T) {
+	cfg := SchedulingConfig{
+		FairShare:       true,
+		HighWater:       8,
+		EstimateService: func(*sched.Request) time.Duration { return time.Hour },
+	}
+	cl, err := NewManagedCluster(1, NewRoundRobin(), cfg, managedBuild(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.Trace{
+		{ID: 1, Tenant: "ghost", InputTokens: 32, OutputTokens: 1, Deadline: 100 * time.Millisecond},
+		{ID: 2, Tenant: "ghost", InputTokens: 32, OutputTokens: 1, Arrival: time.Millisecond, Deadline: 100 * time.Millisecond},
+	}
+	rep, err := cl.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := tenantByName(rep, "ghost")
+	if gt == nil {
+		t.Fatal("all-shed undeclared tenant missing from TenantReports")
+	}
+	if gt.Submitted != 2 || gt.Shed != 2 || gt.SLOTotal != 2 || gt.SLOMet != 0 {
+		t.Fatalf("ghost tenant books wrong: %+v", gt)
+	}
+	if gt.SLOAttainment() != 0 {
+		t.Fatalf("all-shed tenant attainment %v, want 0", gt.SLOAttainment())
+	}
+}
+
+// TestAutoscalerGrowsAndShrinks: a burst-heavy workload on a Min=1
+// fleet must trigger scale-ups on the shared timeline and drain-retire
+// instances after the backlog clears, without losing requests.
+func TestAutoscalerGrowsAndShrinks(t *testing.T) {
+	as := &AutoscaleConfig{Min: 1, Max: 4, HighDepth: 32, LowDepth: 4, Cooldown: time.Second}
+	trace := workload.GenMultiTenant(workload.DefaultMultiTenant(12*time.Second, 2, 11))
+	rep := runManagedTrace(t, true, as, 1, trace)
+	if rep.ScaleUps == 0 {
+		t.Fatalf("expected scale-ups under overload: %+v", rep)
+	}
+	if rep.PeakInstances <= 1 || rep.PeakInstances > 4 {
+		t.Fatalf("peak instances %d outside (1,4]", rep.PeakInstances)
+	}
+	if rep.Completed+rep.Rejected+rep.Shed != len(trace) {
+		t.Fatalf("autoscaling lost requests")
+	}
+	// Elasticity must help where the fair-share picker can't: the
+	// frozen single instance works through the same backlog with a
+	// longer makespan (fair-share already shields the realtime tenant,
+	// so the win shows up in aggregate completion time, not its SLO).
+	frozen := runManagedTrace(t, true, nil, 1, workload.GenMultiTenant(workload.DefaultMultiTenant(12*time.Second, 2, 11)))
+	if rep.SimTime >= frozen.SimTime {
+		t.Errorf("autoscaled makespan %v not shorter than frozen fleet %v", rep.SimTime, frozen.SimTime)
+	}
+	if rep.Throughput <= frozen.Throughput {
+		t.Errorf("autoscaled throughput %.2f not above frozen fleet %.2f", rep.Throughput, frozen.Throughput)
+	}
+}
+
+// TestAutoscalerShrinksWithoutPriorGrowth: an oversized fleet under
+// light traffic must retire instances even though no scale-up ever
+// fired (the hysteresis contract is symmetric).
+func TestAutoscalerShrinksWithoutPriorGrowth(t *testing.T) {
+	as := &AutoscaleConfig{Min: 1, Max: 4, HighDepth: 1 << 20, LowDepth: 4, Cooldown: time.Second}
+	trace := workload.GenMultiTenant(workload.DefaultMultiTenant(8*time.Second, 0.2, 13))
+	rep := runManagedTrace(t, true, as, 3, trace)
+	if rep.ScaleUps != 0 {
+		t.Fatalf("HighDepth is unreachable, yet %d scale-ups fired", rep.ScaleUps)
+	}
+	if rep.ScaleDowns == 0 {
+		t.Fatal("idle oversized fleet never shrank")
+	}
+	if rep.Completed+rep.Rejected+rep.Shed != len(trace) {
+		t.Fatal("scale-down lost requests")
+	}
+}
+
+// TestManagedUntenantedTraceStillRuns: requests without tenant labels
+// flow through the managed path via the auto-registered default
+// tenant.
+func TestManagedUntenantedTraceStillRuns(t *testing.T) {
+	cfg := SchedulingConfig{FairShare: true, HighWater: 8}
+	cl, err := NewManagedCluster(2, NewRoundRobin(), cfg, managedBuild(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.GenStress(workload.DefaultStress(2000, 21))
+	rep, err := cl.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed+rep.Rejected+rep.Shed != len(trace) {
+		t.Fatalf("lost requests on untenanted trace")
+	}
+}

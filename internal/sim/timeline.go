@@ -45,12 +45,22 @@ type Timeline struct {
 	// index); pos maps a process index to its heap slot (-1 = idle).
 	heap []int
 	pos  []int
+	// now is the virtual time of the occurrence currently (or last)
+	// dispatched by Run.
+	now time.Duration
 
 	// Handle consumes one external event when it becomes due. It runs
 	// before any process step at the same virtual time (an arrival at t
 	// must be visible to an instance deciding at t). Handlers that
 	// change a process's schedule must call Refresh for it.
 	Handle func(*Event) error
+
+	// AfterStep, when set, runs after each process step (and its
+	// Refresh). It is the cluster-management hook: dispatching queued
+	// work freed by the step, autoscaling decisions, retiring drained
+	// instances. A hook that mutates another process's schedule must
+	// Refresh it, and may Add or Remove processes.
+	AfterStep func(i int) error
 }
 
 // Schedule enqueues an external event at virtual time at.
@@ -69,6 +79,28 @@ func (t *Timeline) Add(p Process) int {
 	return i
 }
 
+// Remove detaches process i from the timeline: it is deleted from the
+// indexed heap (O(log n)) and will never be stepped again. Indices are
+// not reused — other processes keep their handles — so scaling events
+// can interleave with steps mid-run (the autoscaler retires a drained
+// instance without disturbing the rest of the fleet). Removing an
+// already-removed or unknown index is a no-op.
+func (t *Timeline) Remove(i int) {
+	if i < 0 || i >= len(t.procs) || t.procs[i] == nil {
+		return
+	}
+	if t.pos[i] >= 0 {
+		t.hremove(i)
+	}
+	t.procs[i] = nil
+	t.at[i] = Never
+}
+
+// Now reports the virtual time of the occurrence Run is currently
+// dispatching (or last dispatched) — the clock hooks like AfterStep
+// read for time-based decisions (autoscaler cooldowns).
+func (t *Timeline) Now() time.Duration { return t.now }
+
 // Pending reports the number of external events not yet handled.
 func (t *Timeline) Pending() int { return t.events.Len() }
 
@@ -77,6 +109,9 @@ func (t *Timeline) Pending() int { return t.events.Len() }
 // handler submitting work to an idle instance). The timeline calls it
 // itself after stepping a process.
 func (t *Timeline) Refresh(i int) {
+	if t.procs[i] == nil {
+		return // removed
+	}
 	at := t.procs[i].NextEventAt()
 	t.at[i] = at
 	switch {
@@ -171,6 +206,7 @@ func (t *Timeline) Run() error {
 		e := t.events.Peek()
 		if e != nil && (proc < 0 || e.At <= procAt) {
 			t.events.Pop()
+			t.now = e.At
 			if t.Handle == nil {
 				continue
 			}
@@ -182,6 +218,7 @@ func (t *Timeline) Run() error {
 		if proc < 0 {
 			return nil
 		}
+		t.now = procAt
 		progressed, err := t.procs[proc].Step()
 		if err != nil {
 			return err
@@ -193,5 +230,10 @@ func (t *Timeline) Run() error {
 			return fmt.Errorf("sim: process %d advertised an event at %v but made no progress", proc, procAt)
 		}
 		t.Refresh(proc)
+		if t.AfterStep != nil {
+			if err := t.AfterStep(proc); err != nil {
+				return err
+			}
+		}
 	}
 }

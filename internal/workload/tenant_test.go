@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestGenMultiTenantDeterministic: same seed → identical trace.
+func TestGenMultiTenantDeterministic(t *testing.T) {
+	cfg := DefaultMultiTenant(10*time.Second, 1, 42)
+	a, b := GenMultiTenant(cfg), GenMultiTenant(cfg)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths differ or empty: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].Tenant != b[i].Tenant ||
+			a[i].AdapterID != b[i].AdapterID || a[i].InputTokens != b[i].InputTokens {
+			t.Fatalf("request %d differs between identical seeds", i)
+		}
+	}
+}
+
+// TestGenMultiTenantShape checks the composition invariants: sorted
+// arrivals, sequential IDs, every configured tenant present with
+// roughly its configured mean rate, deadlines and adapter ranges per
+// tenant.
+func TestGenMultiTenantShape(t *testing.T) {
+	dur := 30 * time.Second
+	cfg := DefaultMultiTenant(dur, 1, 7)
+	trace := GenMultiTenant(cfg)
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	counts := map[string]int{}
+	for i, r := range trace {
+		if r.ID != int64(i+1) {
+			t.Fatalf("IDs not sequential at %d: %d", i, r.ID)
+		}
+		if i > 0 && trace[i].Arrival < trace[i-1].Arrival {
+			t.Fatalf("arrivals out of order at %d", i)
+		}
+		counts[r.Tenant]++
+	}
+	for _, tt := range cfg.Tenants {
+		n := counts[tt.Tenant]
+		if n == 0 {
+			t.Fatalf("tenant %s missing from trace", tt.Tenant)
+		}
+		// Mean count over the duration; bursts/diurnal add variance, so
+		// just check the right order of magnitude (±60%).
+		want := tt.Rate * dur.Seconds()
+		if tt.BurstRate > 0 && tt.BurstEvery > 0 {
+			want += tt.BurstRate * tt.BurstDuration.Seconds() * dur.Seconds() / tt.BurstEvery.Seconds()
+		}
+		if math.Abs(float64(n)-want) > 0.6*want {
+			t.Errorf("tenant %s: %d requests, expected ≈%.0f", tt.Tenant, n, want)
+		}
+	}
+	// Per-tenant invariants.
+	for _, r := range trace {
+		switch r.Tenant {
+		case "realtime":
+			if r.Deadline != 250*time.Millisecond {
+				t.Fatalf("realtime deadline %v", r.Deadline)
+			}
+			if r.AdapterID < 0 || r.AdapterID >= 4 {
+				t.Fatalf("realtime adapter %d outside [0,4)", r.AdapterID)
+			}
+		case "batch":
+			if r.Deadline != 0 {
+				t.Fatalf("batch should be best effort, got %v", r.Deadline)
+			}
+			if r.AdapterID < 12 || r.AdapterID >= 24 {
+				t.Fatalf("batch adapter %d outside [12,24)", r.AdapterID)
+			}
+		}
+	}
+}
+
+// TestGenMultiTenantDiurnalModulation: with a strong sinusoid, the
+// peak half-period must carry clearly more arrivals than the trough.
+func TestGenMultiTenantDiurnalModulation(t *testing.T) {
+	period := 20 * time.Second
+	cfg := MultiTenantConfig{
+		Duration: period,
+		Seed:     3,
+		Tenants: []TenantTraffic{{
+			Tenant: "t", Rate: 200, Diurnal: 0.9, DiurnalPeriod: period,
+		}},
+	}
+	trace := GenMultiTenant(cfg)
+	var rising, falling int
+	for _, r := range trace {
+		if r.Arrival < period/2 {
+			rising++ // sin ≥ 0: boosted rate
+		} else {
+			falling++ // sin < 0: suppressed rate
+		}
+	}
+	if rising <= falling*2 {
+		t.Errorf("diurnal modulation too weak: rising %d vs falling %d", rising, falling)
+	}
+}
+
+// TestGenMultiTenantBursts: burst windows must concentrate arrivals.
+func TestGenMultiTenantBursts(t *testing.T) {
+	cfg := MultiTenantConfig{
+		Duration: 40 * time.Second,
+		Seed:     5,
+		Tenants: []TenantTraffic{{
+			Tenant: "b", Rate: 2,
+			BurstRate: 100, BurstEvery: 10 * time.Second, BurstDuration: time.Second,
+		}},
+	}
+	trace := GenMultiTenant(cfg)
+	// With base rate 2 and burst rate 100, bursts dominate: the busiest
+	// second should hold far more than the base rate.
+	perSec := map[int]int{}
+	for _, r := range trace {
+		perSec[int(r.Arrival/time.Second)]++
+	}
+	max := 0
+	for _, n := range perSec {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 20 {
+		t.Errorf("no burst visible: busiest second has %d arrivals", max)
+	}
+}

@@ -68,6 +68,20 @@ type (
 	TaskType = train.TaskType
 	// Adapter is a runtime LoRA adapter descriptor.
 	Adapter = lora.Adapter
+	// TenantSpec declares one tenant's service class (guaranteed
+	// weight, burst credit, queue cap) for managed clusters.
+	TenantSpec = sched.TenantConfig
+	// TenantTraffic shapes one tenant's arrival process (diurnal
+	// sinusoid, Poisson bursts, adapter mix) in a multi-tenant trace.
+	TenantTraffic = workload.TenantTraffic
+	// SchedulingConfig configures a managed cluster's admission and
+	// fair-share dispatch stages.
+	SchedulingConfig = serving.SchedulingConfig
+	// AutoscaleConfig bounds and paces a managed cluster's elastic
+	// fleet.
+	AutoscaleConfig = serving.AutoscaleConfig
+	// TenantReport is one tenant's slice of a managed cluster report.
+	TenantReport = serving.TenantReport
 )
 
 // Serving systems.
@@ -232,6 +246,45 @@ func (c *ClusterSystem) Serve(trace Trace) (*Report, error) {
 // Size reports the number of replicas.
 func (c *ClusterSystem) Size() int { return c.cluster.Size() }
 
+// NewManagedCluster builds a tenant-aware (SLO-aware) cluster: n
+// initial replicas of the configured system behind an admission stage
+// (per-tenant queue caps, hopeless-deadline shedding), a
+// deficit-weighted fair-share queue with deadline-aware ordering, and
+// an optional autoscaler that grows and shrinks the fleet on the
+// shared virtual timeline. Pass workload.DefaultTenantClasses-style
+// TenantSpecs in sc.Tenants; reports carry per-tenant SLO attainment
+// and a Jain fairness index.
+func NewManagedCluster(cfg Config, n int, dispatch DispatchKind, sc SchedulingConfig) (*ClusterSystem, error) {
+	cfg = cfg.withDefaults()
+	pol, err := serving.DispatchByName(string(dispatch))
+	if err != nil {
+		return nil, err
+	}
+	cl, err := serving.NewManagedCluster(n, pol, sc, func(int) (serving.Options, error) {
+		return cfg.options()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterSystem{cluster: cl}, nil
+}
+
+// DefaultTenantClasses returns the three service classes of the
+// multi-tenant experiment (realtime / interactive / batch) with their
+// fair-share weights, burst credits and queue caps.
+func DefaultTenantClasses() []TenantSpec { return workload.DefaultTenantClasses() }
+
+// ServiceFloorEstimator returns an admission-time lower bound on a
+// request's service time for the given model on a simulated A100 —
+// plug it into SchedulingConfig.EstimateService so hopeless deadlines
+// are shed at arrival.
+func ServiceFloorEstimator(model ModelConfig) func(*Request) time.Duration {
+	if model.Layers == 0 {
+		model = QwenVL7B()
+	}
+	return serving.ServiceFloor(simgpu.A100(), model)
+}
+
 // RetrievalWorkload synthesizes a visual-retrieval trace (Azure-like
 // arrivals at rate req/s, adapter popularity skewed so the hottest
 // adapter receives fraction skew of requests).
@@ -252,6 +305,15 @@ func VideoWorkload(streams int, duration time.Duration, adapters int, skew float
 // application scenario. Same seed, same trace.
 func StressWorkload(n int, seed int64) Trace {
 	return workload.GenStress(workload.DefaultStress(n, seed))
+}
+
+// MultiTenantWorkload synthesizes the three-class multi-tenant trace
+// (realtime video analytics, interactive retrieval, bursty batch
+// inspection) with per-tenant diurnal arrival processes. scale
+// multiplies every tenant's rate (≈ instances of cluster capacity the
+// load saturates at 1.5x); same seed, same trace.
+func MultiTenantWorkload(duration time.Duration, scale float64, seed int64) Trace {
+	return workload.GenMultiTenant(workload.DefaultMultiTenant(duration, scale, seed))
 }
 
 // Knowledge is one domain dataset to integrate, with its accuracy
