@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAdapterColdStartQuick runs the tiered-registry experiment in
+// quick mode and asserts the acceptance bar: prefetch+quota achieves a
+// strictly lower cold-start TTFT p99 than the no-prefetch baseline on
+// the identical cold-candidate population, and one trajectory record
+// lands per mode with the tier fields populated.
+func TestAdapterColdStartQuick(t *testing.T) {
+	s := NewSuite(true)
+	s.OutDir = t.TempDir()
+	tab, err := s.AdapterColdStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("want 3 rows (one per mode), got %d", len(tab.Rows))
+	}
+	coldP99 := map[string]float64{}
+	cold := map[string]string{}
+	for _, row := range tab.Rows {
+		coldP99[row[0]] = parseF(t, row[1])
+		cold[row[0]] = row[9]
+	}
+	if coldP99["prefetch+quota"] >= coldP99["no-prefetch"] {
+		t.Fatalf("prefetch+quota cold TTFT p99 %.1f must strictly beat no-prefetch %.1f",
+			coldP99["prefetch+quota"], coldP99["no-prefetch"])
+	}
+	// The cold-candidate population is trace-defined: identical counts
+	// across modes, or the percentiles compare different things.
+	if cold["no-prefetch"] != cold["prefetch"] || cold["prefetch"] != cold["prefetch+quota"] {
+		t.Fatalf("cold populations differ across modes: %v", cold)
+	}
+
+	data, err := os.ReadFile(filepath.Join(s.OutDir, BenchServingFile))
+	if err != nil {
+		t.Fatalf("trajectory not written: %v", err)
+	}
+	var records []StressRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("trajectory not valid JSON: %v", err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("want 3 records, got %d", len(records))
+	}
+	modes := map[string]bool{}
+	for _, rec := range records {
+		if rec.Experiment != "adapter-cold-start" {
+			t.Fatalf("wrong experiment tag %q", rec.Experiment)
+		}
+		if rec.ColdStarts == 0 || rec.ColdTTFTP99MS <= 0 || rec.HostHitRate <= 0 ||
+			rec.SwapBytes == 0 || rec.FetchBytes == 0 {
+			t.Fatalf("record missing tier fields: %+v", rec)
+		}
+		modes[rec.Mode] = true
+	}
+	if !modes["no-prefetch"] || !modes["prefetch"] || !modes["prefetch+quota"] {
+		t.Fatalf("modes incomplete: %v", modes)
+	}
+}

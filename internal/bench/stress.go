@@ -45,6 +45,19 @@ type StressRecord struct {
 	Shed       int                `json:"shed,omitempty"`
 	ScaleUps   int                `json:"scale_ups,omitempty"`
 	ScaleDowns int                `json:"scale_downs,omitempty"`
+
+	// Tiered adapter-distribution fields (adapter-cold-start records
+	// only; see internal/registry).
+	ColdStarts      int     `json:"cold_starts,omitempty"`
+	ColdTTFTP50MS   float64 `json:"cold_ttft_p50_ms,omitempty"`
+	ColdTTFTP99MS   float64 `json:"cold_ttft_p99_ms,omitempty"`
+	TTFTP99MS       float64 `json:"ttft_p99_ms,omitempty"`
+	HostHitRate     float64 `json:"host_hit_rate,omitempty"`
+	GPUTierHitRate  float64 `json:"gpu_tier_hit_rate,omitempty"`
+	RemoteFetches   int     `json:"remote_fetches,omitempty"`
+	PrefetchFetches int     `json:"prefetch_fetches,omitempty"`
+	FetchBytes      int64   `json:"fetch_bytes,omitempty"`
+	SwapBytes       int64   `json:"swap_bytes,omitempty"`
 }
 
 // BenchServingFile is the trajectory file the stress experiment

@@ -67,7 +67,7 @@ func TestPoolResidencyAndEviction(t *testing.T) {
 	if !pool.Resident(1) || !pool.Resident(2) {
 		t.Fatal("recently used adapters should stay resident")
 	}
-	swapIns, evictions, _ := pool.SwapStats()
+	swapIns, evictions, _, _ := pool.SwapStats()
 	if swapIns != 3 || evictions != 1 {
 		t.Fatalf("stats = %d swap-ins, %d evictions; want 3 and 1", swapIns, evictions)
 	}

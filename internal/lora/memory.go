@@ -77,6 +77,7 @@ type Pool struct {
 	pins map[int]int
 
 	swapIns   int
+	swapBytes int64
 	evictions int
 	stalled   time.Duration
 }
@@ -108,10 +109,10 @@ func (p *Pool) ResidentCount() int { return len(p.entries) }
 // Used reports resident bytes.
 func (p *Pool) Used() int64 { return p.used }
 
-// SwapStats reports cumulative swap-ins, evictions and the total
-// pipeline stall charged.
-func (p *Pool) SwapStats() (swapIns, evictions int, stalled time.Duration) {
-	return p.swapIns, p.evictions, p.stalled
+// SwapStats reports cumulative swap-ins, evictions, host→device bytes
+// copied, and the total pipeline stall charged.
+func (p *Pool) SwapStats() (swapIns, evictions int, bytes int64, stalled time.Duration) {
+	return p.swapIns, p.evictions, p.swapBytes, p.stalled
 }
 
 // Pin protects an adapter from eviction until a matching Unpin. Pins
@@ -240,6 +241,7 @@ func (p *Pool) Require(adapters []*Adapter, overlapBudget time.Duration) (time.D
 		p.listPushMRU(e)
 		p.used += bytes
 		p.swapIns++
+		p.swapBytes += bytes
 
 		if p.Contiguous {
 			// Unified memory pools stage adapters through pinned

@@ -92,7 +92,7 @@ func TestPoolPinnedLRU(t *testing.T) {
 				if p.Resident(a.ID) || p.Used() != 0 {
 					t.Fatalf("oversized adapter leaked: used %d", p.Used())
 				}
-				swapIns, evictions, stalled := p.SwapStats()
+				swapIns, evictions, _, stalled := p.SwapStats()
 				if swapIns != 0 || evictions != 0 || stalled != 0 {
 					t.Fatal("rejected swap-in must not count as a swap")
 				}
@@ -142,7 +142,7 @@ func TestPoolPinnedLRU(t *testing.T) {
 				if !p.Resident(b.ID) {
 					t.Fatal("deferred swap-in evicted a bystander for nothing")
 				}
-				if _, evictions, _ := p.SwapStats(); evictions != 0 {
+				if _, evictions, _, _ := p.SwapStats(); evictions != 0 {
 					t.Fatalf("hopeless swap-in caused %d evictions", evictions)
 				}
 			},

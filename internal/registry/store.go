@@ -1,0 +1,556 @@
+package registry
+
+import (
+	"fmt"
+	"time"
+
+	"valora/internal/sim"
+)
+
+// Config shapes the host tier and the remote link of a Store.
+type Config struct {
+	// HostCapacity bounds resident host-DRAM bytes. In-flight fetches
+	// do not reserve capacity: eviction happens when the bytes land,
+	// so a queue of slow fetches cannot strip the warm set ahead of
+	// time (MaxInflight bounds the landing overhang instead).
+	HostCapacity int64
+	// RemoteLatency is the per-fetch base latency of the registry link
+	// (request round trip + object-store lookup).
+	RemoteLatency time.Duration
+	// RemoteBandwidth is the link's sustained transfer rate in
+	// bytes/second. Fetches serialize on the link: a fetch starting
+	// while another is in flight queues behind it.
+	RemoteBandwidth float64
+	// MaxInflight bounds the outstanding fetch queue. Fetched bytes
+	// claim capacity only when they land, so the bound is what keeps
+	// a burst of cold demands from queueing an eviction storm: at most
+	// MaxInflight landings' worth of eviction can be outstanding, and
+	// everything beyond is denied and simply retries — the requests
+	// wait either way, but the warm set survives the queue.
+	MaxInflight int
+}
+
+func (c Config) withDefaults() Config {
+	if c.HostCapacity <= 0 {
+		c.HostCapacity = 16 << 30
+	}
+	if c.RemoteLatency <= 0 {
+		c.RemoteLatency = 5 * time.Millisecond
+	}
+	if c.RemoteBandwidth <= 0 {
+		c.RemoteBandwidth = 1.2e9
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 8
+	}
+	return c
+}
+
+// TenantQuota bounds a tenant's host-tier residency. GuaranteedBytes
+// of the tenant's hottest adapters are pinned (never evicted), the
+// counterpart of sched.TenantConfig's guaranteed weight; BurstBytes of
+// additional residency is protected (evicted only when no unprotected
+// victim remains), the counterpart of burst credit. Residency beyond
+// guaranteed+burst competes in plain LRU.
+type TenantQuota struct {
+	GuaranteedBytes int64
+	BurstBytes      int64
+}
+
+// Status reports what the host tier did about one adapter demand.
+type Status int
+
+const (
+	// StatusHit: the adapter is host-resident; a GPU swap-in can start
+	// immediately (one PCIe copy, as the paper assumes).
+	StatusHit Status = iota
+	// StatusFetching: a remote fetch is already in flight; the demand
+	// must wait for its completion.
+	StatusFetching
+	// StatusStarted: this demand started a remote fetch; the adapter
+	// becomes host-resident at the returned completion time.
+	StatusStarted
+	// StatusDenied: no fetch could start because the host tier cannot
+	// make room (everything resident is pinned or protected and the
+	// in-flight reservations fill the remainder).
+	StatusDenied
+	// StatusUncatalogued: the adapter is unknown to the catalog; the
+	// store does not manage it and callers should fall back to the
+	// always-host-resident behavior.
+	StatusUncatalogued
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusHit:
+		return "hit"
+	case StatusFetching:
+		return "fetching"
+	case StatusStarted:
+		return "started"
+	case StatusDenied:
+		return "denied"
+	case StatusUncatalogued:
+		return "uncatalogued"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Stats are the store's cumulative counters. Demand hits/misses count
+// Ensure calls only (a demand retrying behind an in-flight fetch is
+// not re-counted); prefetch traffic is accounted separately so the
+// demand hit rate is not polluted by speculative warming.
+type Stats struct {
+	HostHits        int
+	HostMisses      int
+	Fetches         int
+	FetchBytes      int64
+	PrefetchFetches int
+	PrefetchBytes   int64
+	FetchDenied     int
+	Evictions       int
+	EvictedBytes    int64
+	// Discarded counts fetched transfers dropped at landing because
+	// quota pins grew past the admission-time room check.
+	Discarded int
+}
+
+// hostEntry is one digest's state in the host tier: fetching (bytes
+// reserved, completion scheduled) or resident (on the LRU list).
+type hostEntry struct {
+	digest   uint64
+	bytes    int64
+	tenant   string
+	resident bool
+	done     time.Duration // fetch completion, while !resident
+	pinned   bool          // quota pin (guaranteed residency)
+
+	prev, next *hostEntry // intrusive LRU list, resident entries only
+}
+
+// Store is the tiered adapter distribution state: the bounded host
+// cache plus the remote-link fetch model. One Store models one
+// deployment's host DRAM (a multi-GPU node shares it across serving
+// instances); all times are virtual (sim) times. The store is not
+// safe for concurrent use — serving runs are single-goroutine
+// discrete-event simulations.
+type Store struct {
+	cfg    Config
+	cat    *Catalog
+	quotas map[string]TenantQuota
+
+	entries map[uint64]*hostEntry
+	root    hostEntry // LRU sentinel: root.next = LRU, root.prev = MRU
+	used    int64     // resident bytes
+	pinnedB int64     // pinned bytes across tenants
+
+	linkFree time.Duration // virtual time the remote link frees up
+	inflight []*hostEntry  // in-flight fetches, sorted by completion
+	advanced time.Duration // high-water mark of Advance calls
+
+	tenantPinned   map[string]int64
+	tenantResident map[string]int64
+
+	stats Stats
+}
+
+// NewStore builds a store over a catalog.
+func NewStore(cfg Config, cat *Catalog) *Store {
+	if cat == nil {
+		cat = NewCatalog()
+	}
+	s := &Store{
+		cfg:            cfg.withDefaults(),
+		cat:            cat,
+		quotas:         make(map[string]TenantQuota),
+		entries:        make(map[uint64]*hostEntry),
+		tenantPinned:   make(map[string]int64),
+		tenantResident: make(map[string]int64),
+	}
+	s.root.prev = &s.root
+	s.root.next = &s.root
+	return s
+}
+
+// Catalog exposes the store's catalog.
+func (s *Store) Catalog() *Catalog { return s.cat }
+
+// SetQuota declares a tenant's residency quota. Quotas only shape
+// pinning and eviction from the time they are set; they do not evict
+// retroactively.
+func (s *Store) SetQuota(tenant string, q TenantQuota) {
+	s.quotas[tenant] = q
+}
+
+// Stats returns a copy of the cumulative counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// HostUsed reports resident host bytes.
+func (s *Store) HostUsed() int64 { return s.used }
+
+// InflightFetches reports the number of fetches on the link.
+func (s *Store) InflightFetches() int { return len(s.inflight) }
+
+// NextFetchDone reports the earliest in-flight fetch completion, or
+// sim.Never when the link is idle. Blocked instances use it to jump
+// their clocks to the moment new residency appears.
+func (s *Store) NextFetchDone() time.Duration {
+	if len(s.inflight) == 0 {
+		return sim.Never
+	}
+	return s.inflight[0].done
+}
+
+// Advance completes every fetch due at or before now. Instance clocks
+// interleave on a shared timeline, so Advance is monotonic: a call
+// with an older now than a previous call is a no-op.
+func (s *Store) Advance(now time.Duration) {
+	if now < s.advanced {
+		return
+	}
+	s.advanced = now
+	for len(s.inflight) > 0 && s.inflight[0].done <= now {
+		e := s.inflight[0]
+		s.inflight = s.inflight[1:]
+		// Landing is when the bytes claim capacity: evict for them now,
+		// not when the fetch was queued, so the warm set survives the
+		// whole transfer. startFetch guarantees the unpinned set can
+		// cover the need.
+		s.evictFor(e.bytes)
+		if s.used+e.bytes > s.cfg.HostCapacity {
+			// Pins grew past startFetch's check; drop the transfer
+			// rather than over-commit (a live demand will re-fetch).
+			delete(s.entries, e.digest)
+			s.stats.Discarded++
+			continue
+		}
+		e.resident = true
+		s.listPushMRU(e)
+		s.used += e.bytes
+		s.tenantResident[e.tenant] += e.bytes
+		// A completing fetch takes a quota pin only from unspent
+		// guaranteed bytes; stealing happens on demand hits (promote),
+		// so one cold fetch cannot displace a proven-hot pin.
+		s.pinIfFree(e)
+	}
+}
+
+// pinIfFree pins a resident entry when its tenant has unspent
+// guaranteed quota.
+func (s *Store) pinIfFree(e *hostEntry) {
+	if e.pinned {
+		return
+	}
+	q, ok := s.quotas[e.tenant]
+	if !ok || q.GuaranteedBytes <= 0 || e.bytes > q.GuaranteedBytes {
+		return
+	}
+	if s.tenantPinned[e.tenant]+e.bytes <= q.GuaranteedBytes {
+		e.pinned = true
+		s.tenantPinned[e.tenant] += e.bytes
+		s.pinnedB += e.bytes
+	}
+}
+
+// HostResident reports whether an adapter's content is host-resident
+// at now, without touching LRU order or stats (the admission stage
+// uses it to stamp cold-start arrivals).
+func (s *Store) HostResident(id int, now time.Duration) bool {
+	s.Advance(now)
+	ent, ok := s.cat.Resolve(id)
+	if !ok {
+		return true // uncatalogued adapters are host-resident by definition
+	}
+	e := s.entries[ent.Digest]
+	return e != nil && e.resident
+}
+
+// Ensure is the demand path: the serving engine needs an adapter on
+// the GPU and asks the host tier for it. A hit touches the LRU (and
+// may rotate the tenant's quota pins onto it); a miss starts a remote
+// fetch when one is not already in flight and the tier can reserve
+// room. eta is the fetch completion time for StatusFetching and
+// StatusStarted.
+func (s *Store) Ensure(id int, now time.Duration) (st Status, eta time.Duration) {
+	s.Advance(now)
+	ent, ok := s.cat.Resolve(id)
+	if !ok {
+		return StatusUncatalogued, 0
+	}
+	if e := s.entries[ent.Digest]; e != nil {
+		if e.resident {
+			s.stats.HostHits++
+			s.listTouch(e)
+			s.promote(e)
+			return StatusHit, 0
+		}
+		return StatusFetching, e.done
+	}
+	e, ok := s.startFetch(ent, now)
+	if !ok {
+		// Denied demands retry every scheduling round; counting each
+		// retry as a fresh miss would swamp the hit rate, so denials
+		// have their own counter and misses count fetch starts only.
+		s.stats.FetchDenied++
+		return StatusDenied, 0
+	}
+	s.stats.HostMisses++
+	s.stats.Fetches++
+	s.stats.FetchBytes += e.bytes
+	return StatusStarted, e.done
+}
+
+// Prefetch speculatively warms the host tier for an adapter expected
+// to be demanded soon. Resident content is touched (it is about to be
+// hot); in-flight fetches are left alone; otherwise a fetch starts if
+// room can be reserved. It never counts demand hits or misses.
+// started reports whether this call put a new fetch on the link; eta
+// is its completion time.
+func (s *Store) Prefetch(id int, now time.Duration) (eta time.Duration, started bool) {
+	s.Advance(now)
+	ent, ok := s.cat.Resolve(id)
+	if !ok {
+		return 0, false
+	}
+	if e := s.entries[ent.Digest]; e != nil {
+		if e.resident {
+			s.listTouch(e)
+			s.promote(e)
+		}
+		return 0, false
+	}
+	e, ok := s.startFetch(ent, now)
+	if !ok {
+		return 0, false
+	}
+	s.stats.PrefetchFetches++
+	s.stats.PrefetchBytes += e.bytes
+	return e.done, true
+}
+
+// startFetch puts a fetch on the serialized link. It denies hopeless
+// transfers up front — bytes that cannot fit even after evicting
+// every unpinned resident — and bounds the outstanding queue, but
+// does not evict anything: capacity is claimed at landing.
+func (s *Store) startFetch(ent *Entry, now time.Duration) (*hostEntry, bool) {
+	bytes := ent.Adapter.Bytes()
+	if bytes+s.pinnedB > s.cfg.HostCapacity {
+		return nil, false
+	}
+	if len(s.inflight) >= s.cfg.MaxInflight {
+		return nil, false
+	}
+	start := now
+	if s.linkFree > start {
+		start = s.linkFree
+	}
+	done := start + s.cfg.RemoteLatency +
+		time.Duration(float64(bytes)/s.cfg.RemoteBandwidth*float64(time.Second))
+	s.linkFree = done
+	e := &hostEntry{digest: ent.Digest, bytes: bytes, tenant: ent.Tenant, done: done}
+	s.entries[ent.Digest] = e
+	// The link serializes, so completions are monotone in start order
+	// and appending keeps inflight sorted by done.
+	s.inflight = append(s.inflight, e)
+	return e, true
+}
+
+// protected reports whether an entry sits inside its tenant's
+// guaranteed+burst residency envelope (evicted only as a last
+// resort).
+func (s *Store) protected(e *hostEntry) bool {
+	q, ok := s.quotas[e.tenant]
+	if !ok {
+		return false
+	}
+	return s.tenantResident[e.tenant] <= q.GuaranteedBytes+q.BurstBytes
+}
+
+// evictFor frees resident, unpinned entries until need bytes fit: a
+// first LRU pass takes only unprotected entries (tenants over their
+// burst envelope lose residency first), a second takes any unpinned
+// entry. Pinned entries are never evicted.
+func (s *Store) evictFor(need int64) {
+	for pass := 0; pass < 2 && s.used+need > s.cfg.HostCapacity; pass++ {
+		e := s.root.next
+		for s.used+need > s.cfg.HostCapacity && e != &s.root {
+			next := e.next
+			if !e.pinned && (pass == 1 || !s.protected(e)) {
+				s.evict(e)
+			}
+			e = next
+		}
+	}
+}
+
+// evict removes one resident entry from the tier.
+func (s *Store) evict(e *hostEntry) {
+	s.listRemove(e)
+	delete(s.entries, e.digest)
+	s.used -= e.bytes
+	s.tenantResident[e.tenant] -= e.bytes
+	s.stats.Evictions++
+	s.stats.EvictedBytes += e.bytes
+}
+
+// promote rotates the tenant's quota pins onto a just-touched entry:
+// if the tenant has guaranteed bytes left the entry is pinned
+// outright; otherwise the tenant's least-recently-used pins are
+// released until it fits. Recently-demanded adapters therefore hold
+// the guaranteed residency — the pin set tracks the hot set as
+// popularity drifts.
+func (s *Store) promote(e *hostEntry) {
+	if e.pinned {
+		return
+	}
+	q, ok := s.quotas[e.tenant]
+	if !ok || q.GuaranteedBytes <= 0 || e.bytes > q.GuaranteedBytes {
+		return
+	}
+	for s.tenantPinned[e.tenant]+e.bytes > q.GuaranteedBytes {
+		v := s.lruPinned(e.tenant, e)
+		if v == nil {
+			return
+		}
+		v.pinned = false
+		s.tenantPinned[e.tenant] -= v.bytes
+		s.pinnedB -= v.bytes
+	}
+	e.pinned = true
+	s.tenantPinned[e.tenant] += e.bytes
+	s.pinnedB += e.bytes
+}
+
+// lruPinned finds the tenant's least-recently-used pinned entry other
+// than skip.
+func (s *Store) lruPinned(tenant string, skip *hostEntry) *hostEntry {
+	for e := s.root.next; e != &s.root; e = e.next {
+		if e != skip && e.pinned && e.tenant == tenant {
+			return e
+		}
+	}
+	return nil
+}
+
+// listRemove unlinks e from the LRU list.
+func (s *Store) listRemove(e *hostEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// listPushMRU links e at the most-recently-used end.
+func (s *Store) listPushMRU(e *hostEntry) {
+	e.prev = s.root.prev
+	e.next = &s.root
+	e.prev.next = e
+	s.root.prev = e
+}
+
+// listTouch marks a resident entry most recently used.
+func (s *Store) listTouch(e *hostEntry) {
+	if s.root.prev == e {
+		return
+	}
+	s.listRemove(e)
+	s.listPushMRU(e)
+}
+
+// CheckInvariants verifies the tier's bookkeeping: the LRU list and
+// the digest index agree, resident+reserved bytes equal used and
+// respect capacity, per-tenant pinned/resident sums match their
+// counters and pinned bytes never exceed the guaranteed quota, and
+// in-flight fetches are completion-sorted. Tests call it after every
+// mutation.
+func (s *Store) CheckInvariants() error {
+	var residentBytes int64
+	residentCount := 0
+	pinned := make(map[string]int64)
+	resident := make(map[string]int64)
+	for e := s.root.next; e != &s.root; e = e.next {
+		me, ok := s.entries[e.digest]
+		if !ok {
+			return fmt.Errorf("registry: list entry %x missing from index", e.digest)
+		}
+		if me != e {
+			return fmt.Errorf("registry: index for %x points at a different entry", e.digest)
+		}
+		if !e.resident {
+			return fmt.Errorf("registry: fetching entry %x on the LRU list", e.digest)
+		}
+		if e.next.prev != e || e.prev.next != e {
+			return fmt.Errorf("registry: list links broken at %x", e.digest)
+		}
+		residentBytes += e.bytes
+		residentCount++
+		resident[e.tenant] += e.bytes
+		if e.pinned {
+			pinned[e.tenant] += e.bytes
+		}
+	}
+	if len(s.inflight) > s.cfg.MaxInflight {
+		return fmt.Errorf("registry: %d fetches in flight, bound is %d", len(s.inflight), s.cfg.MaxInflight)
+	}
+	last := time.Duration(-1)
+	for _, e := range s.inflight {
+		if e.resident {
+			return fmt.Errorf("registry: resident entry %x still in flight", e.digest)
+		}
+		if s.entries[e.digest] != e {
+			return fmt.Errorf("registry: in-flight entry %x missing from index", e.digest)
+		}
+		if e.pinned {
+			return fmt.Errorf("registry: in-flight entry %x is pinned", e.digest)
+		}
+		if e.done < last {
+			return fmt.Errorf("registry: in-flight fetches out of completion order")
+		}
+		last = e.done
+	}
+	if residentCount+len(s.inflight) != len(s.entries) {
+		return fmt.Errorf("registry: %d resident + %d fetching != %d indexed",
+			residentCount, len(s.inflight), len(s.entries))
+	}
+	if residentBytes != s.used {
+		return fmt.Errorf("registry: used=%d but resident bytes sum to %d", s.used, residentBytes)
+	}
+	if s.used > s.cfg.HostCapacity {
+		return fmt.Errorf("registry: host tier over-committed: used=%d > capacity=%d",
+			s.used, s.cfg.HostCapacity)
+	}
+	var pinnedTotal int64
+	for _, b := range pinned {
+		pinnedTotal += b
+	}
+	if pinnedTotal != s.pinnedB {
+		return fmt.Errorf("registry: pinned counter %d, list says %d", s.pinnedB, pinnedTotal)
+	}
+	for t, b := range pinned {
+		if s.tenantPinned[t] != b {
+			return fmt.Errorf("registry: tenant %q pinned counter %d, list says %d",
+				t, s.tenantPinned[t], b)
+		}
+		if q, ok := s.quotas[t]; ok && b > q.GuaranteedBytes {
+			return fmt.Errorf("registry: tenant %q pinned %d bytes over guaranteed %d",
+				t, b, q.GuaranteedBytes)
+		}
+	}
+	for t, c := range s.tenantPinned {
+		if c != pinned[t] {
+			return fmt.Errorf("registry: tenant %q pinned counter %d, list says %d", t, c, pinned[t])
+		}
+	}
+	for t, c := range s.tenantResident {
+		// In-flight bytes are charged to the tenant only at completion.
+		if c != resident[t] {
+			return fmt.Errorf("registry: tenant %q resident counter %d, list says %d", t, c, resident[t])
+		}
+	}
+	for t, b := range resident {
+		if s.tenantResident[t] != b {
+			return fmt.Errorf("registry: tenant %q resident counter %d, list says %d",
+				t, s.tenantResident[t], b)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package registry
+
+import (
+	"testing"
+	"time"
+
+	"valora/internal/lmm"
+	"valora/internal/lora"
+	"valora/internal/sim"
+)
+
+// testAdapters builds n uniform adapters owned by tenants in
+// round-robin over names.
+func testAdapters(n int, names ...string) ([]*lora.Adapter, *Catalog) {
+	model := lmm.QwenVL7B()
+	adapters := lora.MakeUniformAdapters(model, n, model.DefaultRank)
+	tenantOf := func(id int) string {
+		if len(names) == 0 {
+			return ""
+		}
+		return names[id%len(names)]
+	}
+	return adapters, CatalogFromAdapters(adapters, tenantOf)
+}
+
+func TestEnsureFetchesThenHits(t *testing.T) {
+	adapters, cat := testAdapters(4, "a")
+	ab := adapters[0].Bytes()
+	s := NewStore(Config{HostCapacity: 2 * ab, RemoteLatency: 10 * time.Millisecond, RemoteBandwidth: 1e9}, cat)
+
+	st, eta := s.Ensure(0, 0)
+	if st != StatusStarted {
+		t.Fatalf("first demand: got %v, want started", st)
+	}
+	wantETA := 10*time.Millisecond + time.Duration(float64(ab)/1e9*float64(time.Second))
+	if eta != wantETA {
+		t.Fatalf("eta = %v, want %v", eta, wantETA)
+	}
+	if s.NextFetchDone() != eta {
+		t.Fatalf("NextFetchDone = %v, want %v", s.NextFetchDone(), eta)
+	}
+
+	// Before completion: fetching, not resident.
+	if st, _ := s.Ensure(0, eta-time.Millisecond); st != StatusFetching {
+		t.Fatalf("mid-fetch demand: got %v, want fetching", st)
+	}
+	if s.HostResident(0, eta-time.Millisecond) {
+		t.Fatal("resident before fetch completion")
+	}
+
+	// At completion: hit.
+	if st, _ := s.Ensure(0, eta); st != StatusHit {
+		t.Fatalf("post-fetch demand: got %v, want hit", st)
+	}
+	if !s.HostResident(0, eta) {
+		t.Fatal("not resident after fetch completion")
+	}
+	if s.NextFetchDone() != sim.Never {
+		t.Fatal("NextFetchDone should be Never when the link is idle")
+	}
+	stats := s.Stats()
+	// The mid-fetch retry is not re-counted: one miss per cold demand.
+	if stats.HostHits != 1 || stats.HostMisses != 1 || stats.Fetches != 1 || stats.FetchBytes != ab {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkSerializesFetches(t *testing.T) {
+	_, cat := testAdapters(3, "a")
+	s := NewStore(Config{HostCapacity: 64 << 30, RemoteLatency: time.Millisecond, RemoteBandwidth: 1e9}, cat)
+	_, eta0 := s.Ensure(0, 0)
+	_, eta1 := s.Ensure(1, 0)
+	if eta1 <= eta0 {
+		t.Fatalf("second fetch (%v) should queue behind the first (%v)", eta1, eta0)
+	}
+	per := eta0 // latency + transfer for one adapter starting on an idle link
+	if eta1 != eta0+per {
+		t.Fatalf("eta1 = %v, want %v (serialized)", eta1, eta0+per)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionRespectsLRUAndCapacity(t *testing.T) {
+	adapters, cat := testAdapters(4, "a")
+	ab := adapters[0].Bytes()
+	s := NewStore(Config{HostCapacity: 2 * ab, RemoteLatency: time.Millisecond, RemoteBandwidth: 1e12}, cat)
+	now := time.Duration(0)
+	for id := 0; id < 2; id++ {
+		_, eta := s.Ensure(id, now)
+		now = eta
+		s.Advance(now)
+	}
+	// Touch 0 so 1 becomes LRU, then demand 2: 1 must be evicted when
+	// the fetched bytes land (not at fetch start — the warm set
+	// survives the transfer).
+	if st, _ := s.Ensure(0, now); st != StatusHit {
+		t.Fatal("0 should be resident")
+	}
+	st, eta := s.Ensure(2, now)
+	if st != StatusStarted {
+		t.Fatal("2 should start fetching")
+	}
+	if !s.HostResident(1, eta-time.Nanosecond) {
+		t.Fatal("1 evicted before the fetched bytes landed")
+	}
+	now = eta
+	s.Advance(now)
+	if s.HostResident(1, now) {
+		t.Fatal("1 should have been evicted (LRU)")
+	}
+	if !s.HostResident(0, now) {
+		t.Fatal("0 (just touched) should stay resident")
+	}
+	if s.HostUsed() > 2*ab {
+		t.Fatalf("over-committed: used %d > %d", s.HostUsed(), 2*ab)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuotaPinsSurviveEvictionAndRotate(t *testing.T) {
+	adapters, cat := testAdapters(6, "hot")
+	ab := adapters[0].Bytes()
+	s := NewStore(Config{HostCapacity: 3 * ab, RemoteLatency: time.Millisecond, RemoteBandwidth: 1e12}, cat)
+	s.SetQuota("hot", TenantQuota{GuaranteedBytes: 1 * ab})
+
+	now := time.Duration(0)
+	fetch := func(id int) {
+		st, eta := s.Ensure(id, now)
+		if st != StatusStarted && st != StatusHit {
+			t.Fatalf("adapter %d: %v", id, st)
+		}
+		if eta > now {
+			now = eta
+		}
+		s.Advance(now)
+	}
+	fetch(0) // completes and gets the quota pin
+	if s.tenantPinned["hot"] != ab {
+		t.Fatalf("pinned = %d, want %d", s.tenantPinned["hot"], ab)
+	}
+	fetch(1)
+	fetch(2)
+	// Cache full {0 pinned, 1, 2}. Demand 3 twice: 1 then 2 evict, 0 never.
+	fetch(3)
+	fetch(4)
+	if !s.HostResident(0, now) {
+		t.Fatal("pinned adapter 0 was evicted")
+	}
+	// Touching 3 rotates the quota pin onto it (0 loses the pin).
+	if st, _ := s.Ensure(3, now); st != StatusHit {
+		t.Fatal("3 should be resident")
+	}
+	fetch(5) // needs room: 0 is now unpinned and LRU → evicted
+	if s.HostResident(0, now) {
+		t.Fatal("0 should have lost its pin to 3 and been evicted")
+	}
+	if !s.HostResident(3, now) {
+		t.Fatal("3 holds the rotated pin and must stay")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBurstProtectionEvictsOverBurstFirst(t *testing.T) {
+	// Tenant "a" owns even IDs, "b" odd. "a" has guaranteed+burst
+	// covering one adapter; "b" has none. With both tenants resident,
+	// a new fetch must evict "b"'s entries before "a"'s protected one.
+	adapters, cat := testAdapters(6, "a", "b")
+	ab := adapters[0].Bytes()
+	s := NewStore(Config{HostCapacity: 3 * ab, RemoteLatency: time.Millisecond, RemoteBandwidth: 1e12}, cat)
+	s.SetQuota("a", TenantQuota{BurstBytes: 1 * ab})
+
+	now := time.Duration(0)
+	for _, id := range []int{0, 1, 3} { // a:{0}, b:{1,3}
+		_, eta := s.Ensure(id, now)
+		now = eta
+		s.Advance(now)
+	}
+	// 0 is the LRU entry, but it is protected (within a's burst). The
+	// landing fetch for 5 must take 1 (b's LRU, unprotected) instead.
+	st, eta := s.Ensure(5, now)
+	if st != StatusStarted {
+		t.Fatal("5 should start fetching")
+	}
+	now = eta
+	s.Advance(now)
+	if !s.HostResident(0, now) {
+		t.Fatal("protected entry 0 was evicted while unprotected victims existed")
+	}
+	if s.HostResident(1, now) {
+		t.Fatal("unprotected LRU entry 1 should have been evicted")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentAddressingDedupes(t *testing.T) {
+	// Two IDs with identical content share a digest: one fetch serves
+	// both.
+	model := lmm.QwenVL7B()
+	a0 := &lora.Adapter{ID: 0, Name: "shared", Rank: model.DefaultRank, Model: model}
+	a1 := &lora.Adapter{ID: 1, Name: "shared", Rank: model.DefaultRank, Model: model}
+	cat := NewCatalog()
+	cat.Add(a0, "t")
+	cat.Add(a1, "t")
+	s := NewStore(Config{HostCapacity: 8 * a0.Bytes(), RemoteLatency: time.Millisecond, RemoteBandwidth: 1e12}, cat)
+	_, eta := s.Ensure(0, 0)
+	s.Advance(eta)
+	if st, _ := s.Ensure(1, eta); st != StatusHit {
+		t.Fatal("content-identical adapter should hit without a second fetch")
+	}
+	if s.Stats().Fetches != 1 {
+		t.Fatalf("fetches = %d, want 1", s.Stats().Fetches)
+	}
+}
+
+func TestDeniedWhenEverythingPinned(t *testing.T) {
+	adapters, cat := testAdapters(4, "t")
+	ab := adapters[0].Bytes()
+	s := NewStore(Config{HostCapacity: 2 * ab, RemoteLatency: time.Millisecond, RemoteBandwidth: 1e12}, cat)
+	s.SetQuota("t", TenantQuota{GuaranteedBytes: 2 * ab})
+	now := time.Duration(0)
+	for id := 0; id < 2; id++ {
+		_, eta := s.Ensure(id, now)
+		now = eta
+		s.Advance(now)
+	}
+	// Both resident entries are quota-pinned; a third demand cannot
+	// make room and must be denied rather than over-commit.
+	st, _ := s.Ensure(2, now)
+	if st != StatusDenied {
+		t.Fatalf("got %v, want denied", st)
+	}
+	if s.HostUsed() != 2*ab {
+		t.Fatalf("used = %d, want %d", s.HostUsed(), 2*ab)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUncataloguedBypasses(t *testing.T) {
+	_, cat := testAdapters(1, "t")
+	s := NewStore(Config{}, cat)
+	if st, _ := s.Ensure(99, 0); st != StatusUncatalogued {
+		t.Fatalf("unknown adapter: got %v, want uncatalogued", st)
+	}
+	if !s.HostResident(99, 0) {
+		t.Fatal("uncatalogued adapters are host-resident by definition")
+	}
+}

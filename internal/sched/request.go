@@ -64,8 +64,16 @@ type Request struct {
 	Deadline time.Duration
 
 	// Runtime state, owned by the server.
-	Phase         Phase
-	PrefillDone   bool
+	Phase       Phase
+	PrefillDone bool
+	// ColdStart marks a request that arrived while its adapter was not
+	// host-resident (a remote fetch stands between it and its first
+	// token); ColdStamped records that the residency check ran, so the
+	// admission stage and the instance ingest stamp each request
+	// exactly once. Registry-backed runs only; both stay false
+	// otherwise.
+	ColdStart     bool
+	ColdStamped   bool
 	SharedTokens  int // prompt tokens served by the prefix cache
 	Emitted       int
 	FirstSchedule time.Duration

@@ -56,6 +56,10 @@ func NewClusterWithDispatch(n int, dispatch DispatchPolicy, build func(i int) (O
 		if err != nil {
 			return nil, err
 		}
+		// Stable instance identity: the position at creation, never
+		// reused (retired servers stay in the slice). Affinity maps key
+		// on it so they survive autoscaler churn.
+		srv.id = len(c.servers)
 		c.servers = append(c.servers, srv)
 	}
 	return c, nil
@@ -136,12 +140,13 @@ func (c *Cluster) aggregate(reports []*Report, system string) *Report {
 	var latencySum time.Duration
 	var tokensOut int
 	var hitRate float64
-	e2e, ttft := metrics.NewStream(), metrics.NewStream()
+	e2e, ttft, cold := metrics.NewStream(), metrics.NewStream(), metrics.NewStream()
 	for i, srv := range c.servers {
 		agg.Merge(reports[i])
 		latencySum += srv.LatencySum()
 		tokensOut += srv.TokensOut()
 		srv.MergeLatencyStreams(e2e, ttft)
+		srv.MergeColdStream(cold)
 		hitRate += reports[i].PrefixHitRate
 	}
 	if tokensOut > 0 {
@@ -152,6 +157,7 @@ func (c *Cluster) aggregate(reports []*Report, system string) *Report {
 	}
 	agg.E2E = e2e.Summarize()
 	agg.TTFT = ttft.Summarize()
+	agg.ColdTTFT = cold.Summarize()
 	// Unweighted mean across instances: informational in aggregates
 	// (per-instance lookup volumes are not part of the report).
 	agg.PrefixHitRate = hitRate / float64(len(c.servers))

@@ -59,8 +59,14 @@ func (LeastLoaded) Pick(_ *sched.Request, servers []*Server) int {
 // its weights resident (fewer swap-ins) and keeps the per-replica
 // adapter mix narrow, so merged/mixture modes stay profitable and the
 // switcher fires less (§4.4's economics, applied across the cluster).
+//
+// Homes are keyed by the stable Server.InstanceID, not the position in
+// the candidate slice: managed clusters hand Pick shifting candidate
+// subsets (headroom filtering, autoscaler churn), and an index-keyed
+// map would silently point at the wrong instance the moment the set
+// changes.
 type AdapterAffinity struct {
-	home map[int]int // adapter ID → instance index
+	home map[int]int // adapter ID → stable instance ID
 }
 
 // NewAdapterAffinity builds an adapter-affinity dispatcher.
@@ -72,14 +78,98 @@ func NewAdapterAffinity() *AdapterAffinity {
 func (p *AdapterAffinity) Name() string { return "adapter-affinity" }
 
 // Pick returns the adapter's home instance, assigning one (the
-// currently least-loaded replica) on first sight.
+// currently least-loaded replica) on first sight. When the home is
+// absent from this candidate set (backpressured or retired), the
+// request overflows to the least-loaded candidate without re-homing:
+// the pinning survives temporary absences instead of flapping.
 func (p *AdapterAffinity) Pick(r *sched.Request, servers []*Server) int {
-	if i, ok := p.home[r.AdapterID]; ok && i < len(servers) {
-		return i
+	if id, ok := p.home[r.AdapterID]; ok {
+		for j, srv := range servers {
+			if srv.InstanceID() == id {
+				return j
+			}
+		}
+		return leastLoaded(servers)
 	}
-	i := leastLoaded(servers)
-	p.home[r.AdapterID] = i
-	return i
+	j := leastLoaded(servers)
+	p.home[r.AdapterID] = servers[j].InstanceID()
+	return j
+}
+
+// TenantAffinity keys placement on the tenant instead of the adapter:
+// each tenant's traffic is pinned to a small stable subset of
+// instances (its "home set"), so the tenant's hot adapters
+// concentrate their GPU residency there and the host-tier quota has a
+// matching device-side footprint. Home sets are keyed by stable
+// instance IDs and survive autoscaler churn; requests overflow to the
+// least-loaded candidate when no home has headroom.
+type TenantAffinity struct {
+	// HomeSize maps tenant → home-set size (default 1). Derive it from
+	// the tenant's residency-quota share of the fleet.
+	HomeSize map[string]int
+
+	homes map[string][]int // tenant → stable instance IDs
+}
+
+// NewTenantAffinity builds a tenant-affinity dispatcher.
+func NewTenantAffinity(homeSize map[string]int) *TenantAffinity {
+	return &TenantAffinity{HomeSize: homeSize, homes: make(map[string][]int)}
+}
+
+// Name identifies the policy in reports.
+func (p *TenantAffinity) Name() string { return "tenant-affinity" }
+
+// Pick routes to the least-loaded home instance present among the
+// candidates, assigning the home set (the then-least-loaded distinct
+// candidates) on the tenant's first sight. A home set assigned while
+// backpressure (or a pre-scale-up fleet) hid candidates is topped up
+// on later Picks until it reaches the configured size, so a tenant
+// first seen during congestion is not pinned to a shrunken subset
+// forever.
+func (p *TenantAffinity) Pick(r *sched.Request, servers []*Server) int {
+	n := 1
+	if p.HomeSize != nil && p.HomeSize[r.Tenant] > n {
+		n = p.HomeSize[r.Tenant]
+	}
+	hs := p.homes[r.Tenant]
+	if len(hs) < n {
+		taken := make(map[int]bool, len(hs))
+		for _, id := range hs {
+			taken[id] = true
+		}
+		for len(hs) < n {
+			best, bestLoad := -1, 0
+			for j, srv := range servers {
+				if taken[srv.InstanceID()] {
+					continue
+				}
+				if load := srv.InFlight(); best < 0 || load < bestLoad {
+					best, bestLoad = j, load
+				}
+			}
+			if best < 0 {
+				break // fewer distinct candidates than homes wanted
+			}
+			taken[servers[best].InstanceID()] = true
+			hs = append(hs, servers[best].InstanceID())
+		}
+		p.homes[r.Tenant] = hs
+	}
+	best, bestLoad := -1, 0
+	for j, srv := range servers {
+		for _, id := range hs {
+			if srv.InstanceID() == id {
+				if load := srv.InFlight(); best < 0 || load < bestLoad {
+					best, bestLoad = j, load
+				}
+				break
+			}
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return leastLoaded(servers)
 }
 
 func leastLoaded(servers []*Server) int {
@@ -106,6 +196,8 @@ func DispatchByName(name string) (DispatchPolicy, error) {
 		return NewLeastLoaded(), nil
 	case "adapter-affinity", "affinity":
 		return NewAdapterAffinity(), nil
+	case "tenant-affinity":
+		return NewTenantAffinity(nil), nil
 	}
 	return nil, fmt.Errorf("serving: unknown dispatch policy %q", name)
 }

@@ -1,0 +1,155 @@
+package serving
+
+import (
+	"testing"
+	"time"
+
+	"valora/internal/lmm"
+	"valora/internal/sched"
+	"valora/internal/simgpu"
+	"valora/internal/workload"
+)
+
+// churnServers builds n standalone servers with explicit stable IDs,
+// as a managed cluster would after creations and retirements.
+func churnServers(t *testing.T, ids ...int) []*Server {
+	t.Helper()
+	out := make([]*Server, len(ids))
+	for i, id := range ids {
+		opts, err := SystemOptions(SystemVaLoRA, simgpu.A100(), lmm.QwenVL7B())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewServer(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.id = id
+		out[i] = srv
+	}
+	return out
+}
+
+// TestAdapterAffinitySurvivesChurn is the regression test for the
+// index-keyed affinity bug: under the autoscaler's add/remove the
+// candidate slice shifts, and a home stored as an index silently
+// pointed at the wrong instance. Keyed by stable instance ID, the home
+// must follow the instance wherever it sits in the candidate slice —
+// and must not flap when the home is temporarily absent.
+func TestAdapterAffinitySurvivesChurn(t *testing.T) {
+	p := NewAdapterAffinity()
+	fleet := churnServers(t, 0, 1, 2, 3)
+	r := &sched.Request{ID: 1, AdapterID: 7}
+
+	// First sight homes adapter 7 on the least-loaded instance (all
+	// idle → index 0 → instance ID 0).
+	if got := p.Pick(r, fleet); got != 0 {
+		t.Fatalf("first pick = %d, want 0", got)
+	}
+
+	// Candidate set shifts: instance 0 now sits at position 2 (as after
+	// headroom filtering or retirements ahead of it). The home must
+	// follow the instance, not the index.
+	shuffled := []*Server{fleet[3], fleet[1], fleet[0], fleet[2]}
+	if got := p.Pick(r, shuffled); got != 2 {
+		t.Fatalf("after shift: pick = %d (instance ID %d), want 2 (instance ID 0)",
+			got, shuffled[p.Pick(r, shuffled)].InstanceID())
+	}
+
+	// Home absent (backpressured/retired): overflow to a live
+	// candidate without re-homing.
+	subset := []*Server{fleet[2], fleet[3]}
+	got := p.Pick(r, subset)
+	if got < 0 || got >= len(subset) {
+		t.Fatalf("overflow pick out of range: %d", got)
+	}
+	// The home is still instance 0: when it reappears, traffic returns.
+	back := []*Server{fleet[1], fleet[0]}
+	if got := p.Pick(r, back); got != 1 {
+		t.Fatalf("home did not survive temporary absence: pick = %d, want 1", got)
+	}
+}
+
+// TestAdapterAffinityManagedChurnEndToEnd drives a managed cluster
+// with an autoscaler through a bursty trace under adapter-affinity
+// dispatch: the run must complete every request with homes keyed by
+// instance ID even as replicas are added and retired mid-run.
+func TestAdapterAffinityManagedChurnEndToEnd(t *testing.T) {
+	model := lmm.QwenVL7B()
+	build := func(int) (Options, error) {
+		return SystemOptions(SystemVaLoRA, simgpu.A100(), model)
+	}
+	cfg := SchedulingConfig{
+		Tenants:   []sched.TenantConfig{{Name: "t", Weight: 1}},
+		FairShare: true,
+		HighWater: 4,
+		Autoscale: &AutoscaleConfig{Min: 1, Max: 3, HighDepth: 16, LowDepth: 2, Cooldown: time.Second},
+	}
+	cl, err := NewManagedCluster(1, NewAdapterAffinity(), cfg, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.GenMultiTenant(workload.MultiTenantConfig{
+		Duration: 20 * time.Second,
+		Seed:     9,
+		Tenants: []workload.TenantTraffic{{
+			Tenant: "t", Rate: 40,
+			BurstRate: 120, BurstEvery: 6 * time.Second, BurstDuration: 2 * time.Second,
+			NumAdapters: 8, Skew: 0.6,
+			MinInputTokens: 32, MaxInputTokens: 64, MaxOutputTokens: 2,
+		}},
+	})
+	rep, err := cl.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed+rep.Rejected+rep.Shed != len(trace) {
+		t.Fatalf("lost requests under churn: %d+%d+%d of %d",
+			rep.Completed, rep.Rejected, rep.Shed, len(trace))
+	}
+	if rep.ScaleUps == 0 {
+		t.Fatal("test needs autoscaler churn to exercise the affinity map")
+	}
+}
+
+// TestTenantAffinityStableHomes checks the tenant-keyed policy: each
+// tenant gets a home set of the configured size, traffic stays on it
+// while it has headroom, and the homes survive candidate-set changes.
+func TestTenantAffinityStableHomes(t *testing.T) {
+	p := NewTenantAffinity(map[string]int{"a": 2})
+	fleet := churnServers(t, 0, 1, 2, 3)
+
+	ra := &sched.Request{ID: 1, Tenant: "a"}
+	first := p.Pick(ra, fleet)
+	if first != 0 {
+		t.Fatalf("first pick = %d, want 0 (least-loaded tie → lowest index)", first)
+	}
+	if len(p.homes["a"]) != 2 {
+		t.Fatalf("home set size = %d, want 2", len(p.homes["a"]))
+	}
+	// With the candidate order reversed, the pick must still land on a
+	// home-set member.
+	reversed := []*Server{fleet[3], fleet[2], fleet[1], fleet[0]}
+	got := p.Pick(ra, reversed)
+	gotID := reversed[got].InstanceID()
+	found := false
+	for _, id := range p.homes["a"] {
+		if id == gotID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pick landed on instance %d, outside home set %v", gotID, p.homes["a"])
+	}
+	// No home in the candidate set → overflow, homes unchanged.
+	var homesBefore = append([]int(nil), p.homes["a"]...)
+	subset := []*Server{fleet[2], fleet[3]}
+	if got := p.Pick(ra, subset); got < 0 || got >= len(subset) {
+		t.Fatalf("overflow pick out of range: %d", got)
+	}
+	for i, id := range p.homes["a"] {
+		if homesBefore[i] != id {
+			t.Fatal("home set flapped during overflow")
+		}
+	}
+}

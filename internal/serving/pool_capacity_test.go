@@ -76,13 +76,13 @@ func TestTinyPoolStillCompletes(t *testing.T) {
 	if rep.Completed != rep.Requests || rep.Rejected != 0 {
 		t.Fatalf("tiny pool must defer, not reject: %+v", rep)
 	}
-	if _, evictions, _ := poolStats(srv); evictions == 0 {
+	if _, evictions, _, _ := poolStats(srv); evictions == 0 {
 		t.Fatal("a one-slot pool under four adapters must churn")
 	}
 }
 
 // poolStats exposes the server's pool counters to capacity tests.
-func poolStats(s *Server) (swapIns, evictions int, stalled time.Duration) {
+func poolStats(s *Server) (swapIns, evictions int, bytes int64, stalled time.Duration) {
 	return s.pool.SwapStats()
 }
 

@@ -49,10 +49,36 @@ type Report struct {
 	BaseTime       time.Duration // time spent in base-model computation
 	SwapIns        int
 	SwapStall      time.Duration
+	// SwapBytes counts host→device bytes the adapter pool copied over
+	// PCIe (the GPU-tier fill traffic).
+	SwapBytes      int64
 	Preemptions    int
 	PrefixHitRate  float64
 	DeadlineMisses int
 	DeadlineTotal  int
+
+	// Tiered adapter-distribution accounting, populated when a
+	// registry store backs the run (zero otherwise). GPU-tier lookups
+	// happen once per distinct adapter per scheduling iteration; a GPU
+	// miss consults the host tier, and a host miss rides a remote
+	// fetch.
+	GPUTierHits   int
+	GPUTierMisses int
+	HostHits      int
+	HostMisses    int
+	// RemoteFetches / FetchBytes count demand fetches this run put on
+	// the registry link; PrefetchFetches / PrefetchBytes count the
+	// speculative warming issued by the cluster prefetcher.
+	RemoteFetches   int
+	FetchBytes      int64
+	PrefetchFetches int
+	PrefetchBytes   int64
+	// ColdStarts counts completed first tokens of requests that
+	// arrived while their adapter was not host-resident; ColdTTFT
+	// summarizes their time-to-first-token (ms) — the cold-start tail
+	// the prefetcher and the residency quotas attack.
+	ColdStarts int
+	ColdTTFT   metrics.Summary
 
 	// Multi-tenant accounting, populated by managed (SLO-aware)
 	// cluster runs; empty otherwise.
@@ -121,6 +147,16 @@ func (r *Report) Merge(other *Report) {
 	r.BaseTime += other.BaseTime
 	r.SwapIns += other.SwapIns
 	r.SwapStall += other.SwapStall
+	r.SwapBytes += other.SwapBytes
+	r.GPUTierHits += other.GPUTierHits
+	r.GPUTierMisses += other.GPUTierMisses
+	r.HostHits += other.HostHits
+	r.HostMisses += other.HostMisses
+	r.RemoteFetches += other.RemoteFetches
+	r.FetchBytes += other.FetchBytes
+	r.PrefetchFetches += other.PrefetchFetches
+	r.PrefetchBytes += other.PrefetchBytes
+	r.ColdStarts += other.ColdStarts
 	r.Preemptions += other.Preemptions
 	r.DeadlineMisses += other.DeadlineMisses
 	r.DeadlineTotal += other.DeadlineTotal
@@ -133,6 +169,24 @@ func (r *Report) Merge(other *Report) {
 	if other.SimTime > r.SimTime {
 		r.SimTime = other.SimTime
 	}
+}
+
+// GPUTierHitRate reports the fraction of per-iteration adapter
+// lookups served without a PCIe swap-in.
+func (r *Report) GPUTierHitRate() float64 {
+	if r.GPUTierHits+r.GPUTierMisses == 0 {
+		return 0
+	}
+	return float64(r.GPUTierHits) / float64(r.GPUTierHits+r.GPUTierMisses)
+}
+
+// HostHitRate reports the fraction of GPU-tier misses the host cache
+// absorbed without a remote fetch.
+func (r *Report) HostHitRate() float64 {
+	if r.HostHits+r.HostMisses == 0 {
+		return 0
+	}
+	return float64(r.HostHits) / float64(r.HostHits+r.HostMisses)
 }
 
 // DeadlineMissRate reports the fraction of deadline-carrying requests
@@ -154,6 +208,12 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  %d iterations (modes %v), %d switches (%v), swap stall %v, prefix hit %.0f%%\n",
 		r.Iterations, r.ModeIterations, r.Switches, r.SwitchTime.Round(time.Microsecond),
 		r.SwapStall.Round(time.Microsecond), 100*r.PrefixHitRate)
+	if r.HostHits+r.HostMisses+r.RemoteFetches > 0 {
+		fmt.Fprintf(&b, "  tiers: gpu hit %.0f%%, host hit %.0f%%, %d remote fetches (%.0f MB, %d prefetched), %d cold starts (ttft p99 %.1f ms)\n",
+			100*r.GPUTierHitRate(), 100*r.HostHitRate(), r.RemoteFetches+r.PrefetchFetches,
+			float64(r.FetchBytes+r.PrefetchBytes)/float64(1<<20), r.PrefetchFetches,
+			r.ColdStarts, r.ColdTTFT.P99)
+	}
 	if len(r.Tenants) > 0 {
 		fmt.Fprintf(&b, "  fairness (Jain) %.3f, shed %d, scale +%d/-%d (peak %d instances)\n",
 			r.FairnessIndex, r.Shed, r.ScaleUps, r.ScaleDowns, r.PeakInstances)

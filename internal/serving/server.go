@@ -9,6 +9,7 @@ import (
 	"valora/internal/lmm"
 	"valora/internal/lora"
 	"valora/internal/metrics"
+	"valora/internal/registry"
 	"valora/internal/sched"
 	"valora/internal/sim"
 	"valora/internal/simgpu"
@@ -25,6 +26,13 @@ type Options struct {
 	Operator atmm.Operator
 	Switcher lora.Switcher
 	Registry *lora.Registry
+	// Store, when set, is the tiered adapter-distribution backend: a
+	// GPU-pool miss no longer assumes host residency but consults the
+	// host cache, and a host miss rides an asynchronous remote fetch
+	// while the request waits. Instances of one cluster share a Store
+	// (one node's host DRAM and registry link); nil keeps the paper's
+	// every-adapter-host-resident behavior exactly.
+	Store *registry.Store
 
 	// MaxBatch caps the batch size in requests (MaxBS of Alg. 1).
 	MaxBatch int
@@ -114,8 +122,15 @@ type Server struct {
 	report     *Report
 	e2e        *metrics.Stream
 	ttft       *metrics.Stream
+	coldTTFT   *metrics.Stream
 	latencySum time.Duration
 	tokensOut  int
+
+	// id is the instance's stable identity within its cluster:
+	// assigned once at creation, never reused, unchanged by autoscaler
+	// churn. Stateful dispatch policies key their affinity maps on it
+	// instead of the (shifting) position in a candidate slice.
+	id int
 
 	// tenants accumulates per-tenant completion stats; only populated
 	// when requests carry a Tenant label (managed cluster runs), so
@@ -132,6 +147,7 @@ type Server struct {
 	// loop stays allocation-free in steady state.
 	scratchNeeded      []*lora.Adapter
 	scratchSeen        map[int]bool
+	scratchFetching    map[int]bool
 	scratchGroupTokens map[int]int
 	scratchGroups      []lora.TokenGroup
 	// synth memoizes registry-less adapter descriptors (see adapterOf).
@@ -142,6 +158,12 @@ type Server struct {
 // (10 virtual seconds at the 1ms retry quantum) before the engine
 // reports a capacity deadlock.
 const maxCapacityStalls = 10000
+
+// fetchWaitQuantum caps how far a fetch-blocked instance fast-forwards
+// its clock per round: long enough to skip most of the 1ms retry spin,
+// short enough that work dispatched to the instance meanwhile waits at
+// most this long.
+const fetchWaitQuantum = 5 * time.Millisecond
 
 // tenantStat is one tenant's per-instance completion accounting; the
 // managed cluster merges these across instances into TenantReports.
@@ -172,16 +194,18 @@ func NewServer(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		opts:   opts,
-		engine: lmm.NewEngine(opts.GPU, opts.Model),
-		kv:     lmm.NewKVCache(opts.Model, opts.KVBudgetBytes),
-		prefix: lmm.NewPrefixCache(opts.PrefixCacheImages),
-		pool:   lora.NewPool(opts.GPU, opts.AdapterPoolBytes, opts.AsyncSwap, opts.ContiguousMemory),
-		state:  lora.State{Mode: lora.ModeUnmerged, Merged: -1},
-		e2e:    metrics.NewBoundedStream(opts.LatencySampleCap),
-		ttft:   metrics.NewBoundedStream(opts.LatencySampleCap),
+		opts:     opts,
+		engine:   lmm.NewEngine(opts.GPU, opts.Model),
+		kv:       lmm.NewKVCache(opts.Model, opts.KVBudgetBytes),
+		prefix:   lmm.NewPrefixCache(opts.PrefixCacheImages),
+		pool:     lora.NewPool(opts.GPU, opts.AdapterPoolBytes, opts.AsyncSwap, opts.ContiguousMemory),
+		state:    lora.State{Mode: lora.ModeUnmerged, Merged: -1},
+		e2e:      metrics.NewBoundedStream(opts.LatencySampleCap),
+		ttft:     metrics.NewBoundedStream(opts.LatencySampleCap),
+		coldTTFT: metrics.NewBoundedStream(opts.LatencySampleCap),
 
 		scratchSeen:        make(map[int]bool),
+		scratchFetching:    make(map[int]bool),
 		scratchGroupTokens: make(map[int]int),
 		synth:              make(map[int]*lora.Adapter),
 	}
@@ -256,6 +280,13 @@ func (s *Server) Step() (bool, error) {
 		if r == nil {
 			break
 		}
+		if s.opts.Store != nil && !r.ColdStamped {
+			// Standalone (non-managed) runs stamp cold-start arrivals
+			// here; managed clusters stamp at admission, before the
+			// prefetcher can warm the adapter.
+			r.ColdStamped = true
+			r.ColdStart = !s.opts.Store.HostResident(r.AdapterID, now)
+		}
 		s.waiting = append(s.waiting, r)
 	}
 	for len(s.waiting) > 0 && len(s.active) < s.opts.AdmitCap {
@@ -291,18 +322,44 @@ func (s *Server) Step() (bool, error) {
 	// Adapter residency comes before the mode switch: folding requires
 	// the weights on device, so the fold target is part of the working
 	// set even when its own cohort missed the batch (the batch
-	// adapters must be resident to compute in any mode).
+	// adapters must be resident to compute in any mode). With a
+	// registry store attached, a GPU-pool miss first consults the host
+	// tier: host-resident adapters swap in over PCIe as before, while
+	// host misses start (or keep riding) an asynchronous remote fetch
+	// and their requests sit out this iteration.
 	needed := s.scratchNeeded[:0]
 	seen := s.scratchSeen
 	clear(seen)
+	fetching := s.scratchFetching
+	clear(fetching)
 	for _, r := range batch {
 		if !seen[r.AdapterID] {
 			seen[r.AdapterID] = true
-			needed = append(needed, s.adapterOf(r.AdapterID))
+			if a := s.resolveTiered(r.AdapterID); a != nil {
+				needed = append(needed, a)
+			} else {
+				fetching[r.AdapterID] = true
+			}
 		}
 	}
 	if target.Merged >= 0 && !seen[target.Merged] {
-		needed = append(needed, s.adapterOf(target.Merged))
+		seen[target.Merged] = true
+		if a := s.resolveTiered(target.Merged); a != nil {
+			needed = append(needed, a)
+		}
+		// A fold target still travelling remote→host is simply absent
+		// from the pool below, demoting the iteration to unmerged.
+	}
+	if len(fetching) > 0 {
+		out := batch[:0]
+		for _, r := range batch {
+			if !fetching[r.AdapterID] {
+				out = append(out, r)
+			}
+			// Requests riding a fetch stay active and retry once the
+			// adapter lands in the host tier.
+		}
+		batch = out
 	}
 	s.scratchNeeded = needed
 	stall, err := s.pool.Require(needed, s.lastIter)
@@ -347,7 +404,29 @@ func (s *Server) Step() (bool, error) {
 			return false, fmt.Errorf("serving: %s made no progress for %d consecutive scheduling rounds (adapter-pool/KV capacity deadlock)",
 				s.opts.Name, s.capacityStalls)
 		}
-		s.clock.Advance(time.Millisecond)
+		// When the batch is blocked on remote fetches, jump toward the
+		// earliest completion so the copy overlaps this idle gap
+		// instead of burning 1ms retry quanta. The jump is bounded by
+		// the next local arrival and by a coarse quantum: in managed
+		// clusters future arrivals are timeline events this instance
+		// cannot see, and an unbounded jump would strand a warm request
+		// dispatched here "in the past" until the unrelated fetch
+		// lands.
+		wake := s.clock.Now() + time.Millisecond
+		if s.opts.Store != nil && len(fetching) > 0 {
+			if done := s.opts.Store.NextFetchDone(); done != sim.Never && done > s.clock.Now() {
+				if limit := s.clock.Now() + fetchWaitQuantum; done > limit {
+					done = limit
+				}
+				if next := s.pending.Peek(); next != nil && next.Arrival > s.clock.Now() && next.Arrival < done {
+					done = next.Arrival
+				}
+				if done > wake {
+					wake = done
+				}
+			}
+		}
+		s.clock.AdvanceTo(wake)
 		return true, nil
 	}
 	s.capacityStalls = 0
@@ -406,6 +485,10 @@ func (s *Server) Step() (bool, error) {
 		if r.Emitted == 1 {
 			r.FirstToken = end
 			s.ttft.AddDuration(end - r.Arrival)
+			if r.ColdStart {
+				s.coldTTFT.AddDuration(end - r.Arrival)
+				s.report.ColdStarts++
+			}
 		}
 		if r.Done() {
 			r.Finish = end
@@ -415,6 +498,45 @@ func (s *Server) Step() (bool, error) {
 	}
 	s.active = filterDone(s.active)
 	return true, nil
+}
+
+// resolveTiered resolves one adapter demand through the residency
+// tiers: GPU pool first, then (when a store is attached) the host
+// cache. It returns the adapter descriptor when a GPU swap-in can
+// proceed this iteration — already GPU-resident, host-resident, or
+// store-less/uncatalogued (always host-resident by assumption) — and
+// nil while the adapter is still travelling remote→host. Demand
+// misses start the fetch; retries behind an in-flight fetch are not
+// re-counted.
+func (s *Server) resolveTiered(id int) *lora.Adapter {
+	a := s.adapterOf(id)
+	if s.opts.Store == nil {
+		return a // host-resident by assumption; no tier accounting
+	}
+	if s.pool.Resident(id) {
+		s.report.GPUTierHits++
+		return a
+	}
+	s.report.GPUTierMisses++
+	st, _ := s.opts.Store.Ensure(id, s.clock.Now())
+	switch st {
+	case registry.StatusHit:
+		s.report.HostHits++
+		return a
+	case registry.StatusUncatalogued:
+		return a
+	case registry.StatusStarted:
+		s.report.HostMisses++
+		s.report.RemoteFetches++
+		s.report.FetchBytes += a.Bytes()
+		return nil
+	case registry.StatusDenied:
+		// Fetch-queue backpressure: the demand retries next round
+		// without counting a fresh miss per retry.
+		return nil
+	default: // StatusFetching: counted when the fetch started
+		return nil
+	}
 }
 
 // Drain steps the engine until it is idle, then finalizes and returns
@@ -663,14 +785,22 @@ func (s *Server) finalize() {
 	}
 	s.report.E2E = s.e2e.Summarize()
 	s.report.TTFT = s.ttft.Summarize()
-	swapIns, _, stall := s.pool.SwapStats()
+	s.report.ColdTTFT = s.coldTTFT.Summarize()
+	swapIns, _, swapBytes, stall := s.pool.SwapStats()
 	s.report.SwapIns = swapIns
+	s.report.SwapBytes = swapBytes
 	s.report.SwapStall = stall
 	s.report.PrefixHitRate = s.prefix.HitRate()
 }
 
 // Name reports the instance's configured name.
 func (s *Server) Name() string { return s.opts.Name }
+
+// InstanceID reports the instance's stable cluster identity (0 for a
+// standalone server). Unlike a position in a dispatch candidate
+// slice, it never shifts when the autoscaler adds or retires
+// replicas.
+func (s *Server) InstanceID() int { return s.id }
 
 // Now reports the instance's current virtual time. Online submitters
 // stamp request arrivals with it.
@@ -704,6 +834,12 @@ func (s *Server) TokensOut() int { return s.tokensOut }
 func (s *Server) MergeLatencyStreams(e2e, ttft *metrics.Stream) {
 	e2e.Merge(s.e2e)
 	ttft.Merge(s.ttft)
+}
+
+// MergeColdStream folds this instance's cold-start TTFT samples into
+// an aggregate stream.
+func (s *Server) MergeColdStream(cold *metrics.Stream) {
+	cold.Merge(s.coldTTFT)
 }
 
 // Report finalizes and returns the server's cumulative report. The

@@ -7,6 +7,7 @@ import (
 
 	"valora/internal/lmm"
 	"valora/internal/metrics"
+	"valora/internal/registry"
 	"valora/internal/sched"
 	"valora/internal/sim"
 	"valora/internal/simgpu"
@@ -75,6 +76,16 @@ type SchedulingConfig struct {
 	EstimateService func(*sched.Request) time.Duration
 	// Autoscale, when set, lets the run grow and shrink the fleet.
 	Autoscale *AutoscaleConfig
+	// Store, when set, is the cluster's shared adapter-distribution
+	// backend (set the same Store in every instance's Options). The
+	// admission stage stamps cold-start arrivals against it and, when
+	// PrefetchLookahead > 0, warms the host tier from pending arrivals
+	// before they reach an instance, scheduling each fetch completion
+	// as a first-class timeline event that re-drives placement.
+	Store *registry.Store
+	// PrefetchLookahead caps the prefetcher's in-flight fetches
+	// (0 disables prefetching).
+	PrefetchLookahead int
 }
 
 // ServiceFloor builds an admission-time lower bound on a request's
@@ -127,6 +138,10 @@ func (c *Cluster) runManaged(trace workload.Trace) (*Report, error) {
 	cfg := c.sched
 	tq := sched.NewTenantQueue(cfg.FairShare, cfg.Tenants...)
 	tl := &sim.Timeline{}
+	var prefetch *registry.Prefetcher
+	if cfg.Store != nil && cfg.PrefetchLookahead > 0 {
+		prefetch = registry.NewPrefetcher(cfg.Store, cfg.PrefetchLookahead)
+	}
 
 	// Per-instance lifecycle, index-aligned with c.servers and the
 	// timeline: draining instances accept no placements; retired ones
@@ -219,6 +234,7 @@ func (c *Cluster) runManaged(trace workload.Trace) (*Report, error) {
 				return err
 			}
 			srv.AdvanceClockTo(now) // join at cluster time, not t=0
+			srv.id = len(c.servers) // stable identity, never reused
 			c.servers = append(c.servers, srv)
 			state = append(state, instanceState{})
 			tl.Add(srv)
@@ -262,6 +278,13 @@ func (c *Cluster) runManaged(trace workload.Trace) (*Report, error) {
 		now := e.At
 		submitted[r.Tenant]++
 		tq.Touch(r.Tenant) // register even if every request below sheds
+		if cfg.Store != nil && !r.ColdStamped {
+			// Stamp cold-start arrivals before the prefetcher can warm
+			// their adapter: "cold" means not host-resident at arrival,
+			// independent of how fast the fetch then overlaps queueing.
+			r.ColdStamped = true
+			r.ColdStart = !cfg.Store.HostResident(r.AdapterID, now)
+		}
 		// Purge expired entries before the queue-cap check so a dead
 		// backlog never crowds out this (still-serviceable) arrival.
 		tq.ShedExpired(now, func(x *sched.Request) { shed(x, now) })
@@ -270,6 +293,17 @@ func (c *Cluster) runManaged(trace workload.Trace) (*Report, error) {
 			shed(r, now) // hopeless: no placement can meet the deadline
 		case !tq.Push(r):
 			shed(r, now) // tenant queue cap: overload isolation
+		}
+		if r.Phase != sched.PhaseDone && prefetch != nil {
+			// Queue-lookahead warming: the arrival is queued ahead of
+			// placement, so its remote→host copy overlaps the queueing
+			// delay. The completion is a first-class timeline event
+			// that re-drives placement the moment residency appears.
+			if eta, started := prefetch.Observe(r.AdapterID, now); started {
+				tl.ScheduleFunc(eta, func() error {
+					return dispatchQueued(tl.Now())
+				})
+			}
 		}
 		if err := dispatchQueued(now); err != nil {
 			return err
@@ -313,6 +347,13 @@ func (c *Cluster) runManaged(trace workload.Trace) (*Report, error) {
 	agg := c.aggregate(reports, fmt.Sprintf("%s x%d [%s, %s]", c.servers[0].Name(), activeCount, c.dispatch.Name(), mode))
 	agg.Requests += shedTotal // shed requests never reached an instance
 	agg.Shed = shedTotal
+	if cfg.Store != nil {
+		// Prefetch traffic belongs to the cluster, not to any single
+		// instance: read it off the shared store once.
+		st := cfg.Store.Stats()
+		agg.PrefetchFetches = st.PrefetchFetches
+		agg.PrefetchBytes = st.PrefetchBytes
+	}
 	agg.ScaleUps = scaleUps
 	agg.ScaleDowns = scaleDowns
 	agg.PeakInstances = peak

@@ -68,6 +68,22 @@ func (t *Timeline) Schedule(at time.Duration, payload any) {
 	t.events.Push(at, payload)
 }
 
+// funcPayload marks an event whose payload is a self-contained
+// callback (see ScheduleFunc).
+type funcPayload func() error
+
+// ScheduleFunc enqueues a callback as a first-class external event:
+// Run invokes it at virtual time at, in the same global order as
+// Schedule events and process steps, without routing it through the
+// Handle hook. Asynchronous completions with a known deadline —
+// adapter fetches landing in the host tier, lease expiries — use it
+// to re-enter cluster logic exactly when their state changes.
+// Callbacks that alter a process's schedule must Refresh it, like
+// Handle.
+func (t *Timeline) ScheduleFunc(at time.Duration, fn func() error) {
+	t.events.Push(at, funcPayload(fn))
+}
+
 // Add registers a process on the timeline and returns its index (the
 // handle Refresh takes). Indices are assigned in registration order.
 func (t *Timeline) Add(p Process) int {
@@ -207,6 +223,12 @@ func (t *Timeline) Run() error {
 		if e != nil && (proc < 0 || e.At <= procAt) {
 			t.events.Pop()
 			t.now = e.At
+			if fn, ok := e.Payload.(funcPayload); ok {
+				if err := fn(); err != nil {
+					return err
+				}
+				continue
+			}
 			if t.Handle == nil {
 				continue
 			}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScheduleFuncOrdering checks that callback events interleave with
+// payload events and process steps in global virtual-time order, FIFO
+// at equal timestamps, without touching the Handle hook.
+func TestScheduleFuncOrdering(t *testing.T) {
+	tl := &Timeline{}
+	var order []string
+	tl.Handle = func(e *Event) error {
+		order = append(order, e.Payload.(string))
+		return nil
+	}
+	tl.Schedule(10*time.Millisecond, "payload@10")
+	tl.ScheduleFunc(5*time.Millisecond, func() error {
+		order = append(order, "func@5")
+		return nil
+	})
+	tl.ScheduleFunc(10*time.Millisecond, func() error {
+		if tl.Now() != 10*time.Millisecond {
+			t.Fatalf("Now() = %v inside callback, want 10ms", tl.Now())
+		}
+		order = append(order, "func@10")
+		return nil
+	})
+	if err := tl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"func@5", "payload@10", "func@10"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestScheduleFuncCanScheduleMore checks a callback may enqueue
+// further events (fetch completions chaining the next link transfer).
+func TestScheduleFuncCanScheduleMore(t *testing.T) {
+	tl := &Timeline{}
+	fired := 0
+	var chain func() error
+	chain = func() error {
+		fired++
+		if fired < 3 {
+			tl.ScheduleFunc(tl.Now()+time.Millisecond, chain)
+		}
+		return nil
+	}
+	tl.ScheduleFunc(time.Millisecond, chain)
+	if err := tl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d callbacks, want 3", fired)
+	}
+}

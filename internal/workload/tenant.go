@@ -44,6 +44,12 @@ type TenantTraffic struct {
 	NumAdapters   int
 	AdapterOffset int
 	Skew          float64
+	// HotSetDriftEvery rotates the tenant's adapter-popularity ranking
+	// by one position every interval (0 = static popularity): the
+	// adapter that was hottest in one window hands its traffic to the
+	// next ID in the following window. Prefetchers and residency
+	// quotas face a moving hot set instead of a fixed one.
+	HotSetDriftEvery time.Duration
 	// Prompt/decode bounds (uniform), as in StressConfig.
 	MinInputTokens  int
 	MaxInputTokens  int
@@ -157,13 +163,19 @@ func genTenant(tt TenantTraffic, duration time.Duration, seed int64) Trace {
 			continue
 		}
 		id++
+		pick := picker.Pick()
+		if tt.HotSetDriftEvery > 0 {
+			// Rotate the popularity ranking over the tenant's own
+			// range: rank r maps to adapter (r + window) mod N.
+			pick = (pick + int(now/tt.HotSetDriftEvery)) % tt.NumAdapters
+		}
 		out = append(out, &sched.Request{
 			ID:           id,
 			App:          tt.App,
 			Task:         task,
 			Tenant:       tt.Tenant,
 			Priority:     tt.Priority,
-			AdapterID:    tt.AdapterOffset + picker.Pick(),
+			AdapterID:    tt.AdapterOffset + pick,
 			Head:         train.LMHead,
 			InputTokens:  tt.MinInputTokens + rng.Intn(inSpan),
 			OutputTokens: 1 + rng.Intn(tt.MaxOutputTokens),

@@ -103,6 +103,67 @@ func TestGenMultiTenantDiurnalModulation(t *testing.T) {
 	}
 }
 
+// TestGenMultiTenantHotSetDrift: with drift enabled, the hottest
+// adapter rotates one position per window, the trace stays inside the
+// tenant's adapter range, and the generator stays deterministic.
+func TestGenMultiTenantHotSetDrift(t *testing.T) {
+	const n = 10
+	window := 5 * time.Second
+	cfg := MultiTenantConfig{
+		Duration: 4 * window,
+		Seed:     11,
+		Tenants: []TenantTraffic{{
+			Tenant: "d", Rate: 120,
+			NumAdapters: n, AdapterOffset: 100, Skew: 0.8,
+			HotSetDriftEvery: window,
+		}},
+	}
+	trace := GenMultiTenant(cfg)
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	hottest := make([]int, 4)
+	for w := range hottest {
+		counts := map[int]int{}
+		for _, r := range trace {
+			if r.AdapterID < 100 || r.AdapterID >= 100+n {
+				t.Fatalf("adapter %d escaped the tenant range under drift", r.AdapterID)
+			}
+			if int(r.Arrival/window) == w {
+				counts[r.AdapterID]++
+			}
+		}
+		best, bestN := -1, 0
+		for id, c := range counts {
+			if c > bestN || (c == bestN && id < best) {
+				best, bestN = id, c
+			}
+		}
+		hottest[w] = best
+	}
+	// Skew 0.8 concentrates ~80% of a window on its hot adapter, so the
+	// per-window winner is stable; drift must advance it by exactly one
+	// position (mod n) per window.
+	for w := 1; w < len(hottest); w++ {
+		prev := hottest[w-1] - 100
+		cur := hottest[w] - 100
+		if cur != (prev+1)%n {
+			t.Fatalf("window %d hottest = %d, want %d (rotated from %d)",
+				w, cur, (prev+1)%n, prev)
+		}
+	}
+	// Determinism with the knob set.
+	again := GenMultiTenant(cfg)
+	if len(again) != len(trace) {
+		t.Fatal("drifted trace not deterministic")
+	}
+	for i := range trace {
+		if trace[i].AdapterID != again[i].AdapterID || trace[i].Arrival != again[i].Arrival {
+			t.Fatalf("request %d differs between identical seeds", i)
+		}
+	}
+}
+
 // TestGenMultiTenantBursts: burst windows must concentrate arrivals.
 func TestGenMultiTenantBursts(t *testing.T) {
 	cfg := MultiTenantConfig{

@@ -41,6 +41,33 @@ func (t Trace) TotalOutputTokens() int {
 	return total
 }
 
+// MarkColdCandidates pre-stamps the trace's cold-start population for
+// tiered-residency experiments: a request is a cold candidate when its
+// adapter was last requested more than gap ago (or never) — the
+// arrivals a bounded host cache is most likely to have evicted.
+// Because the marking depends only on the trace, the population is
+// identical across runs replaying the same seed, so cold-start TTFT
+// percentiles compare like for like between prefetch policies (a
+// runtime residency stamp would shrink the population in exactly the
+// modes that warm adapters early, biasing the tail upward). It
+// returns the number of marked requests.
+func MarkColdCandidates(t Trace, gap time.Duration) int {
+	lastSeen := make(map[int]time.Duration, 64)
+	marked := 0
+	for _, r := range t {
+		// Every request is stamped so the runtime's residency-based
+		// stamping stays out of a pre-marked trace entirely.
+		r.ColdStamped = true
+		at, seen := lastSeen[r.AdapterID]
+		if !seen || r.Arrival-at > gap {
+			r.ColdStart = true
+			marked++
+		}
+		lastSeen[r.AdapterID] = r.Arrival
+	}
+	return marked
+}
+
 // Merge combines traces and re-sorts by arrival time, reassigning IDs.
 func Merge(traces ...Trace) Trace {
 	var out Trace

@@ -43,6 +43,7 @@ import (
 	"valora/internal/bench"
 	"valora/internal/lmm"
 	"valora/internal/lora"
+	"valora/internal/registry"
 	"valora/internal/sched"
 	"valora/internal/serving"
 	"valora/internal/simgpu"
@@ -82,6 +83,14 @@ type (
 	AutoscaleConfig = serving.AutoscaleConfig
 	// TenantReport is one tenant's slice of a managed cluster report.
 	TenantReport = serving.TenantReport
+	// AdapterStore is the tiered adapter-distribution backend (GPU pool
+	// → bounded host cache → remote registry); see NewAdapterStore.
+	AdapterStore = registry.Store
+	// AdapterStoreConfig shapes the host tier and the remote link.
+	AdapterStoreConfig = registry.Config
+	// ResidencyQuota bounds one tenant's host-tier residency
+	// (guaranteed pinned bytes plus a protected burst envelope).
+	ResidencyQuota = registry.TenantQuota
 )
 
 // Serving systems.
@@ -121,6 +130,11 @@ type Config struct {
 	AdapterPoolBytes int64
 	// DisablePrefixCache turns image-KV reuse off (Fig. 24 ablation).
 	DisablePrefixCache bool
+	// Store routes adapter misses through a tiered host/remote
+	// registry (see NewAdapterStore) instead of assuming every adapter
+	// is host-resident. Instances of one cluster share the store; nil
+	// keeps the paper's host-resident assumption.
+	Store *AdapterStore
 }
 
 // System is a ready-to-serve instance.
@@ -161,7 +175,19 @@ func (cfg Config) options() (serving.Options, error) {
 	if len(cfg.Adapters) > 0 {
 		opts.Registry = lora.NewRegistry(cfg.Adapters...)
 	}
+	opts.Store = cfg.Store
 	return opts, nil
+}
+
+// NewAdapterStore builds a tiered adapter-distribution store over an
+// adapter set: a bounded host-DRAM cache (LRU with per-tenant
+// residency quotas) in front of a remote registry reached over a
+// bandwidth/latency-modeled link. tenantOf resolves adapter ownership
+// for quota accounting (nil = shared). Set the returned store in
+// Config.Store and (for managed clusters) SchedulingConfig.Store, and
+// declare quotas with its SetQuota method.
+func NewAdapterStore(cfg AdapterStoreConfig, adapters []*Adapter, tenantOf func(id int) string) *AdapterStore {
+	return registry.NewStore(cfg, registry.CatalogFromAdapters(adapters, tenantOf))
 }
 
 // New builds a serving system on a simulated A100.

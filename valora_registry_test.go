@@ -1,0 +1,52 @@
+package valora_test
+
+import (
+	"testing"
+	"time"
+
+	"valora"
+)
+
+// TestFacadeAdapterStore serves a workload through the tiered adapter
+// registry from the facade: adapters start remote-only, so the run
+// must account remote fetches, host hits and cold starts, and still
+// complete every request.
+func TestFacadeAdapterStore(t *testing.T) {
+	model := valora.QwenVL7B()
+	adapters := make([]*valora.Adapter, 12)
+	for i := range adapters {
+		adapters[i] = &valora.Adapter{ID: i, Name: "app-adapter", Rank: model.DefaultRank, Model: model}
+		adapters[i].Name = adapters[i].Name + string(rune('a'+i))
+	}
+	ab := adapters[0].Bytes()
+	store := valora.NewAdapterStore(valora.AdapterStoreConfig{
+		HostCapacity:    8 * ab,
+		RemoteLatency:   5 * time.Millisecond,
+		RemoteBandwidth: 2e9,
+	}, adapters, func(id int) string { return "app" })
+	store.SetQuota("app", valora.ResidencyQuota{GuaranteedBytes: 3 * ab, BurstBytes: ab})
+
+	sys, err := valora.New(valora.Config{
+		Adapters:         adapters,
+		AdapterPoolBytes: 4 * ab,
+		Store:            store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := valora.RetrievalWorkload(5, 10*time.Second, 12, 0.5, 3)
+	rep, err := sys.Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != len(trace) {
+		t.Fatalf("completed %d of %d", rep.Completed, len(trace))
+	}
+	if rep.RemoteFetches == 0 || rep.ColdStarts == 0 || rep.HostHits == 0 {
+		t.Fatalf("tiered accounting missing: fetches=%d cold=%d hostHits=%d",
+			rep.RemoteFetches, rep.ColdStarts, rep.HostHits)
+	}
+	if rep.SwapBytes == 0 {
+		t.Fatal("GPU-tier swap bytes missing")
+	}
+}
