@@ -138,6 +138,7 @@ func (s *Suite) All() []Experiment {
 		{"million-requests", "simulator stress: 1M-request replay wall-clock", s.MillionRequests},
 		{"multi-tenant", "fair-share vs FIFO SLO attainment, 3 tenants + autoscaler", s.MultiTenant},
 		{"adapter-cold-start", "tiered adapter registry: prefetch + residency quotas vs cold fetches", s.AdapterColdStart},
+		{"preemption-tail", "iteration-level preemption: realtime p99 with vs without displacement", s.PreemptionTail},
 		{"fig24", "prefix-cache ablation on multi-round retrieval", s.Fig24PrefixCache},
 		{"switcher", "switcher microbenchmark", s.SwitcherMicro},
 		{"ablation-tiling", "ATMM with static tiling", s.AblationStaticTiling},

@@ -131,12 +131,25 @@ func (s *Suite) AdapterColdStart() (*Table, error) {
 			HostCapacity:    int64(sc.hostSlots) * ab,
 			RemoteLatency:   5 * time.Millisecond,
 			RemoteBandwidth: 2.5e9,
+			// The quick-mode config deliberately pins 16 of 28 slots
+			// (57%) — the pressure regime this experiment studies — so
+			// it opts the safety valve up from its 0.5 default.
+			MaxPinnedFraction: 0.6,
 		}, registry.CatalogFromAdapters(adapters, tenantOf))
 		dispatch := serving.DispatchPolicy(serving.NewLeastLoaded())
 		if m.quota {
-			store.SetQuota("realtime", registry.TenantQuota{GuaranteedBytes: 8 * ab, BurstBytes: 2 * ab})
-			store.SetQuota("interactive", registry.TenantQuota{GuaranteedBytes: 6 * ab, BurstBytes: 2 * ab})
-			store.SetQuota("sweep", registry.TenantQuota{GuaranteedBytes: 2 * ab, BurstBytes: 2 * ab})
+			// 16 slots guaranteed — 40% of the full-size tier but 57%
+			// of the quick-mode one, which is why the store above raises
+			// MaxPinnedFraction to 0.6.
+			for tenant, q := range map[string]registry.TenantQuota{
+				"realtime":    {GuaranteedBytes: 8 * ab, BurstBytes: 2 * ab},
+				"interactive": {GuaranteedBytes: 6 * ab, BurstBytes: 2 * ab},
+				"sweep":       {GuaranteedBytes: 2 * ab, BurstBytes: 2 * ab},
+			} {
+				if err := store.SetQuota(tenant, q); err != nil {
+					return nil, err
+				}
+			}
 			dispatch = serving.NewTenantAffinity(map[string]int{
 				"realtime": (sc.fleet + 1) / 2, "interactive": 1, "sweep": (sc.fleet + 1) / 2,
 			})

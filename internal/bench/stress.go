@@ -46,6 +46,11 @@ type StressRecord struct {
 	ScaleUps   int                `json:"scale_ups,omitempty"`
 	ScaleDowns int                `json:"scale_downs,omitempty"`
 
+	// Preemption experiment fields (preemption-tail records only).
+	TenantP99MS     map[string]float64 `json:"tenant_p99_ms,omitempty"`
+	Preemptions     int                `json:"preemptions,omitempty"`
+	RecomputeTokens int                `json:"recompute_tokens,omitempty"`
+
 	// Tiered adapter-distribution fields (adapter-cold-start records
 	// only; see internal/registry).
 	ColdStarts      int     `json:"cold_starts,omitempty"`

@@ -50,7 +50,9 @@ func TestPrefetcherObserveDoesNotAllocate(t *testing.T) {
 	adapters, cat := testAdapters(4, "t")
 	ab := adapters[0].Bytes()
 	s := NewStore(Config{HostCapacity: 8 * ab, RemoteLatency: time.Millisecond, RemoteBandwidth: 1e9}, cat)
-	s.SetQuota("t", TenantQuota{GuaranteedBytes: ab})
+	if err := s.SetQuota("t", TenantQuota{GuaranteedBytes: ab}); err != nil {
+		t.Fatal(err)
+	}
 	pf := NewPrefetcher(s, 2)
 	_, eta := s.Ensure(0, 0)
 	s.Advance(eta)

@@ -36,6 +36,9 @@ func TestTierAccountingNeverLeaks(t *testing.T) {
 			HostCapacity:    cap,
 			RemoteLatency:   time.Millisecond,
 			RemoteBandwidth: 1e9,
+			// Random quotas may exceed any fixed fraction of the random
+			// capacity; the valve has its own test.
+			MaxPinnedFraction: -1,
 		}, cat)
 		for _, tn := range tenants[:3] {
 			if rng.Intn(2) == 0 {
@@ -103,7 +106,9 @@ func TestPinnedNeverEvicted(t *testing.T) {
 		return "noise"
 	})
 	s := NewStore(Config{HostCapacity: 3 * ab, RemoteLatency: time.Millisecond, RemoteBandwidth: 1e12}, cat)
-	s.SetQuota("vip", TenantQuota{GuaranteedBytes: ab})
+	if err := s.SetQuota("vip", TenantQuota{GuaranteedBytes: ab}); err != nil {
+		t.Fatal(err)
+	}
 
 	_, eta := s.Ensure(0, 0)
 	now := eta

@@ -28,6 +28,21 @@ type Config struct {
 	// everything beyond is denied and simply retries — the requests
 	// wait either way, but the warm set survives the queue.
 	MaxInflight int
+	// DemandPriority turns the serialized link into a two-class
+	// priority queue: a demand fetch (a queued request is waiting on
+	// it) jumps every speculative prefetch that has not yet begun its
+	// transfer, FIFO within each class. The transfer in progress is
+	// never interrupted. Off by default — the strict-FIFO link of the
+	// original model, byte-for-byte.
+	DemandPriority bool
+	// MaxPinnedFraction caps the total guaranteed bytes quota pins may
+	// claim, as a fraction of HostCapacity; the cap is fixed at store
+	// construction. SetQuota denies (and reports) oversubscription
+	// beyond it: the adapter-cold-start experiment showed quotas
+	// regressing once pinned bytes approach half the tier — the
+	// floating pool left over is too small to absorb the sweep. 0
+	// means the default 0.5; negative disables the valve.
+	MaxPinnedFraction float64
 }
 
 func (c Config) withDefaults() Config {
@@ -43,7 +58,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxInflight <= 0 {
 		c.MaxInflight = 8
 	}
+	if c.MaxPinnedFraction == 0 {
+		c.MaxPinnedFraction = 0.5
+	}
 	return c
+}
+
+// pinCap reports the byte bound of the quota safety valve (the largest
+// total GuaranteedBytes SetQuota will accept), or a negative value
+// when the valve is disabled.
+func (c Config) pinCap() int64 {
+	if c.MaxPinnedFraction < 0 {
+		return -1
+	}
+	return int64(c.MaxPinnedFraction * float64(c.HostCapacity))
 }
 
 // TenantQuota bounds a tenant's host-tier residency. GuaranteedBytes
@@ -122,7 +150,9 @@ type hostEntry struct {
 	bytes    int64
 	tenant   string
 	resident bool
+	start    time.Duration // transfer begin on the serialized link
 	done     time.Duration // fetch completion, while !resident
+	demand   bool          // demand fetch (vs speculative prefetch)
 	pinned   bool          // quota pin (guaranteed residency)
 
 	prev, next *hostEntry // intrusive LRU list, resident entries only
@@ -177,9 +207,27 @@ func (s *Store) Catalog() *Catalog { return s.cat }
 
 // SetQuota declares a tenant's residency quota. Quotas only shape
 // pinning and eviction from the time they are set; they do not evict
-// retroactively.
-func (s *Store) SetQuota(tenant string, q TenantQuota) {
+// retroactively. It denies oversubscription — a total GuaranteedBytes
+// across tenants beyond the pin cap fixed at store construction
+// (Config.MaxPinnedFraction of the host tier) — returning an error
+// and leaving the tenant's previous quota in place: guarantees past
+// that fraction starve the floating LRU pool and regress exactly the
+// cold-start tail they exist to protect.
+func (s *Store) SetQuota(tenant string, q TenantQuota) error {
+	if cap := s.cfg.pinCap(); cap >= 0 && q.GuaranteedBytes > 0 {
+		var total int64
+		for t, other := range s.quotas {
+			if t != tenant {
+				total += other.GuaranteedBytes
+			}
+		}
+		if total+q.GuaranteedBytes > cap {
+			return fmt.Errorf("registry: quota for %q oversubscribes the host tier: %d guaranteed bytes total > cap %d (%.0f%% of %d); shrink guarantees or raise MaxPinnedFraction",
+				tenant, total+q.GuaranteedBytes, cap, 100*s.cfg.MaxPinnedFraction, s.cfg.HostCapacity)
+		}
+	}
 	s.quotas[tenant] = q
+	return nil
 }
 
 // Stats returns a copy of the cumulative counters.
@@ -212,14 +260,22 @@ func (s *Store) Advance(now time.Duration) {
 	for len(s.inflight) > 0 && s.inflight[0].done <= now {
 		e := s.inflight[0]
 		s.inflight = s.inflight[1:]
+		if e.bytes+s.pinnedB > s.cfg.HostCapacity {
+			// Pins grew past startFetch's check and not even evicting
+			// every unpinned resident could make room: drop the
+			// transfer up front (a live demand will re-fetch) instead
+			// of destroying the warm set in a doomed eviction pass.
+			delete(s.entries, e.digest)
+			s.stats.Discarded++
+			continue
+		}
 		// Landing is when the bytes claim capacity: evict for them now,
 		// not when the fetch was queued, so the warm set survives the
-		// whole transfer. startFetch guarantees the unpinned set can
-		// cover the need.
+		// whole transfer. The pre-check above guarantees the unpinned
+		// set can cover the need.
 		s.evictFor(e.bytes)
 		if s.used+e.bytes > s.cfg.HostCapacity {
-			// Pins grew past startFetch's check; drop the transfer
-			// rather than over-commit (a live demand will re-fetch).
+			// Unreachable in principle; keep the over-commit guard.
 			delete(s.entries, e.digest)
 			s.stats.Discarded++
 			continue
@@ -284,9 +340,15 @@ func (s *Store) Ensure(id int, now time.Duration) (st Status, eta time.Duration)
 			s.promote(e)
 			return StatusHit, 0
 		}
+		if s.cfg.DemandPriority && !e.demand {
+			// A demand caught up with its speculative prefetch: the
+			// queued transfer upgrades to demand class and jumps the
+			// remaining prefetches.
+			s.promoteInflight(e, now)
+		}
 		return StatusFetching, e.done
 	}
-	e, ok := s.startFetch(ent, now)
+	e, ok := s.startFetch(ent, now, true)
 	if !ok {
 		// Denied demands retry every scheduling round; counting each
 		// retry as a fresh miss would swamp the hit rate, so denials
@@ -319,7 +381,7 @@ func (s *Store) Prefetch(id int, now time.Duration) (eta time.Duration, started 
 		}
 		return 0, false
 	}
-	e, ok := s.startFetch(ent, now)
+	e, ok := s.startFetch(ent, now, false)
 	if !ok {
 		return 0, false
 	}
@@ -331,8 +393,12 @@ func (s *Store) Prefetch(id int, now time.Duration) (eta time.Duration, started 
 // startFetch puts a fetch on the serialized link. It denies hopeless
 // transfers up front — bytes that cannot fit even after evicting
 // every unpinned resident — and bounds the outstanding queue, but
-// does not evict anything: capacity is claimed at landing.
-func (s *Store) startFetch(ent *Entry, now time.Duration) (*hostEntry, bool) {
+// does not evict anything: capacity is claimed at landing. With
+// DemandPriority enabled, a demand fetch is inserted ahead of every
+// prefetch whose transfer has not yet begun (the two-class priority
+// queue; the head transfer, already on the wire, is never displaced)
+// and the displaced prefetches' schedule is pushed back.
+func (s *Store) startFetch(ent *Entry, now time.Duration, demand bool) (*hostEntry, bool) {
 	bytes := ent.Adapter.Bytes()
 	if bytes+s.pinnedB > s.cfg.HostCapacity {
 		return nil, false
@@ -340,19 +406,86 @@ func (s *Store) startFetch(ent *Entry, now time.Duration) (*hostEntry, bool) {
 	if len(s.inflight) >= s.cfg.MaxInflight {
 		return nil, false
 	}
-	start := now
-	if s.linkFree > start {
-		start = s.linkFree
+	e := &hostEntry{digest: ent.Digest, bytes: bytes, tenant: ent.Tenant, demand: demand}
+	if s.cfg.DemandPriority && demand {
+		s.insertDemand(e, now)
+	} else {
+		start := now
+		if s.linkFree > start {
+			start = s.linkFree
+		}
+		e.start = start
+		e.done = start + s.cfg.RemoteLatency +
+			time.Duration(float64(bytes)/s.cfg.RemoteBandwidth*float64(time.Second))
+		s.linkFree = e.done
+		// The link serializes, so completions are monotone in start
+		// order and appending keeps inflight sorted by done.
+		s.inflight = append(s.inflight, e)
 	}
-	done := start + s.cfg.RemoteLatency +
-		time.Duration(float64(bytes)/s.cfg.RemoteBandwidth*float64(time.Second))
-	s.linkFree = done
-	e := &hostEntry{digest: ent.Digest, bytes: bytes, tenant: ent.Tenant, done: done}
 	s.entries[ent.Digest] = e
-	// The link serializes, so completions are monotone in start order
-	// and appending keeps inflight sorted by done.
-	s.inflight = append(s.inflight, e)
 	return e, true
+}
+
+// insertDemand splices a demand-class entry into the link queue ahead
+// of the first not-yet-started prefetch (FIFO behind earlier demands)
+// and pushes the displaced schedule back. Only the head can be
+// mid-transfer (the link serializes and Advance has already popped
+// completions ≤ now), so every displaced entry still has its whole
+// transfer ahead of it. Shared by demand fetch starts and in-flight
+// prefetch promotion so the two-class ordering cannot diverge.
+func (s *Store) insertDemand(e *hostEntry, now time.Duration) {
+	at := len(s.inflight)
+	for i, q := range s.inflight {
+		if !q.demand && q.start > now {
+			at = i
+			break
+		}
+	}
+	s.inflight = append(s.inflight, nil)
+	copy(s.inflight[at+1:], s.inflight[at:])
+	s.inflight[at] = e
+	s.rescheduleFrom(at, now)
+}
+
+// promoteInflight upgrades an in-flight prefetch to demand class. If
+// its transfer has not yet begun, the entry is re-inserted under the
+// demand-class ordering (insertDemand); a transfer already on the
+// wire keeps its slot, only its class changes.
+func (s *Store) promoteInflight(e *hostEntry, now time.Duration) {
+	e.demand = true
+	if e.start <= now {
+		return
+	}
+	idx := -1
+	for i, q := range s.inflight {
+		if q == e {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	copy(s.inflight[idx:], s.inflight[idx+1:])
+	s.inflight = s.inflight[:len(s.inflight)-1]
+	s.insertDemand(e, now)
+}
+
+// rescheduleFrom recomputes the serialized link schedule for every
+// queued entry from index at onward (after a priority insertion): each
+// transfer begins when its predecessor completes.
+func (s *Store) rescheduleFrom(at int, now time.Duration) {
+	for i := at; i < len(s.inflight); i++ {
+		base := now
+		if i > 0 && s.inflight[i-1].done > base {
+			base = s.inflight[i-1].done
+		}
+		e := s.inflight[i]
+		e.start = base
+		e.done = base + s.cfg.RemoteLatency +
+			time.Duration(float64(e.bytes)/s.cfg.RemoteBandwidth*float64(time.Second))
+	}
+	s.linkFree = s.inflight[len(s.inflight)-1].done
 }
 
 // protected reports whether an entry sits inside its tenant's

@@ -128,7 +128,7 @@ func TestQuotaPinsSurviveEvictionAndRotate(t *testing.T) {
 	adapters, cat := testAdapters(6, "hot")
 	ab := adapters[0].Bytes()
 	s := NewStore(Config{HostCapacity: 3 * ab, RemoteLatency: time.Millisecond, RemoteBandwidth: 1e12}, cat)
-	s.SetQuota("hot", TenantQuota{GuaranteedBytes: 1 * ab})
+	mustQuota(t, s, "hot", TenantQuota{GuaranteedBytes: 1 * ab})
 
 	now := time.Duration(0)
 	fetch := func(id int) {
@@ -176,7 +176,7 @@ func TestBurstProtectionEvictsOverBurstFirst(t *testing.T) {
 	adapters, cat := testAdapters(6, "a", "b")
 	ab := adapters[0].Bytes()
 	s := NewStore(Config{HostCapacity: 3 * ab, RemoteLatency: time.Millisecond, RemoteBandwidth: 1e12}, cat)
-	s.SetQuota("a", TenantQuota{BurstBytes: 1 * ab})
+	mustQuota(t, s, "a", TenantQuota{BurstBytes: 1 * ab})
 
 	now := time.Duration(0)
 	for _, id := range []int{0, 1, 3} { // a:{0}, b:{1,3}
@@ -226,8 +226,10 @@ func TestContentAddressingDedupes(t *testing.T) {
 func TestDeniedWhenEverythingPinned(t *testing.T) {
 	adapters, cat := testAdapters(4, "t")
 	ab := adapters[0].Bytes()
-	s := NewStore(Config{HostCapacity: 2 * ab, RemoteLatency: time.Millisecond, RemoteBandwidth: 1e12}, cat)
-	s.SetQuota("t", TenantQuota{GuaranteedBytes: 2 * ab})
+	// Pinning the whole tier is the point of this test: the safety
+	// valve is explicitly disabled.
+	s := NewStore(Config{HostCapacity: 2 * ab, RemoteLatency: time.Millisecond, RemoteBandwidth: 1e12, MaxPinnedFraction: -1}, cat)
+	mustQuota(t, s, "t", TenantQuota{GuaranteedBytes: 2 * ab})
 	now := time.Duration(0)
 	for id := 0; id < 2; id++ {
 		_, eta := s.Ensure(id, now)

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"time"
 	"valora/internal/lora"
 )
 
@@ -21,8 +20,8 @@ func (p *UnmergeOnlyPolicy) Name() string {
 	return "unmerge-only"
 }
 
-func (p *UnmergeOnlyPolicy) Decide(now time.Duration, active []*Request, cur lora.State, maxBS int) Decision {
-	return Decision{Mode: lora.ModeUnmerged, Merged: -1, Batch: capBatch(active, maxBS)}
+func (p *UnmergeOnlyPolicy) Decide(it Iteration) Decision {
+	return Decision{Mode: lora.ModeUnmerged, Merged: -1, Batch: capBatch(it.Active, it.MaxBS)}
 }
 
 // MergeOnlyPolicy always serves in merged mode with the most popular
@@ -33,7 +32,8 @@ type MergeOnlyPolicy struct{}
 
 func (p *MergeOnlyPolicy) Name() string { return "merge-only" }
 
-func (p *MergeOnlyPolicy) Decide(now time.Duration, active []*Request, cur lora.State, maxBS int) Decision {
+func (p *MergeOnlyPolicy) Decide(it Iteration) Decision {
+	active, cur, maxBS := it.Active, it.State, it.MaxBS
 	if len(active) == 0 {
 		return Decision{Mode: cur.Mode, Merged: cur.Merged}
 	}
@@ -70,7 +70,8 @@ func NewDLoRAPolicy() *DLoRAPolicy { return &DLoRAPolicy{MajorityFrac: 0.5} }
 
 func (p *DLoRAPolicy) Name() string { return "dLoRA" }
 
-func (p *DLoRAPolicy) Decide(now time.Duration, active []*Request, cur lora.State, maxBS int) Decision {
+func (p *DLoRAPolicy) Decide(it Iteration) Decision {
+	active, cur, maxBS := it.Active, it.State, it.MaxBS
 	if len(active) == 0 {
 		return Decision{Mode: cur.Mode, Merged: cur.Merged}
 	}

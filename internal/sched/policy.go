@@ -31,12 +31,27 @@ type VaLoRAPolicy struct {
 	// DisableMixture is the deLoRA ablation arm: starvation falls
 	// straight through to unmerged mode.
 	DisableMixture bool
+	// DeadlineCredit makes the starvation credit urgency-weighted: a
+	// deadline-carrying request's tolerance θ shrinks linearly with its
+	// remaining slack (floored at θ/10 once the deadline is at hand),
+	// so tight-deadline requests count as starving sooner and jump the
+	// batch while best-effort traffic keeps the full tolerance. Off by
+	// default: the credit function is then exactly Algorithm 1's.
+	DeadlineCredit bool
+	// Preempt enables displacement decisions: when a starving
+	// deadline-carrying request is stuck in the Waiting backlog, Decide
+	// returns an Evict set of active requests whose removal lets it in
+	// (Decision.Evict/Admit). Off by default; engines also gate the
+	// execution side behind their own preemption config.
+	Preempt bool
 
 	// Scratch state (see type comment). epoch identifies the current
 	// Decide call in both the cohort counts and the request marks.
 	epoch    uint64
 	starve   []*Request
 	batchBuf []*Request
+	evictBuf []*Request
+	admitBuf []*Request
 	counts   map[int]cohortCount
 }
 
@@ -113,11 +128,40 @@ func (p *VaLoRAPolicy) appendUnmarked(batch, all []*Request, maxBS, keep int) []
 	return batch
 }
 
+// effTheta is the urgency-weighted credit tolerance of one request:
+// with DeadlineCredit enabled, a deadline-carrying request's tolerance
+// shrinks linearly with its remaining slack-to-deadline fraction
+// (floored at θ/10 once the deadline is at hand or past), so urgency
+// accelerates the starving label exactly where lateness is about to
+// become an SLO miss. With DeadlineCredit off — or for best-effort
+// requests — the tolerance is θ unchanged.
+func (p *VaLoRAPolicy) effTheta(r *Request, theta, now time.Duration) time.Duration {
+	if !p.DeadlineCredit || r.Deadline <= 0 {
+		return theta
+	}
+	slack := r.Slack(now)
+	if slack <= 0 {
+		return theta / 10
+	}
+	f := float64(slack) / float64(r.Deadline)
+	if f > 1 {
+		f = 1
+	}
+	if f < 0.1 {
+		f = 0.1
+	}
+	return time.Duration(float64(theta) * f)
+}
+
 // Decide follows Algorithm 1 line by line: collect starving requests,
 // find the largest same-adapter cohort, then pick merge (no
 // starvation, cohort dominant), mixture (some starvation, cohort still
-// dominant) or unmerge (everything else).
-func (p *VaLoRAPolicy) Decide(now time.Duration, active []*Request, cur lora.State, maxBS int) Decision {
+// dominant) or unmerge (everything else). With Preempt enabled it
+// additionally pairs starving deadline-carrying requests stuck in the
+// Waiting backlog with displaceable active requests (Decision.Evict /
+// Decision.Admit).
+func (p *VaLoRAPolicy) Decide(it Iteration) Decision {
+	now, active, cur, maxBS := it.Now, it.Active, it.State, it.MaxBS
 	if len(active) == 0 {
 		return Decision{Mode: cur.Mode, Merged: cur.Merged}
 	}
@@ -132,9 +176,19 @@ func (p *VaLoRAPolicy) Decide(now time.Duration, active []*Request, cur lora.Sta
 		theta = time.Duration(float64(p.Theta) * float64(len(active)) / float64(maxBS))
 	}
 	p.starve = p.starve[:0]
-	for _, r := range active {
-		if r.Credit(now, p.EstExec, p.SwitchLat) > theta {
-			p.starve = append(p.starve, r)
+	if !p.DeadlineCredit {
+		// Deadline-blind fast path: a bare compare per request (the
+		// stress-scale hot loop), exactly Algorithm 1's credit test.
+		for _, r := range active {
+			if r.Credit(now, p.EstExec, p.SwitchLat) > theta {
+				p.starve = append(p.starve, r)
+			}
+		}
+	} else {
+		for _, r := range active {
+			if r.Credit(now, p.EstExec, p.SwitchLat) > p.effTheta(r, theta, now) {
+				p.starve = append(p.starve, r)
+			}
 		}
 	}
 	mergedID, mergedCount := p.countCohorts(active, cur)
@@ -155,7 +209,7 @@ func (p *VaLoRAPolicy) Decide(now time.Duration, active []*Request, cur lora.Sta
 	if len(p.starve) == 0 && mergedCount >= maxBS {
 		batch := p.appendUnmarked(p.batchBuf[:0], active, maxBS, mergedID)
 		p.batchBuf = batch
-		return Decision{Mode: lora.ModeMerged, Merged: mergedID, Batch: batch}
+		return p.withPreemption(it, theta, Decision{Mode: lora.ModeMerged, Merged: mergedID, Batch: batch})
 	}
 
 	// Starving requests go first in every remaining mode.
@@ -176,12 +230,76 @@ func (p *VaLoRAPolicy) Decide(now time.Duration, active []*Request, cur lora.Sta
 		batch = p.appendUnmarked(batch, active, maxBS, mergedID)
 		batch = p.appendUnmarked(batch, active, maxBS, -1)
 		p.batchBuf = batch
-		return Decision{Mode: lora.ModeMixture, Merged: mergedID, Batch: batch}
+		return p.withPreemption(it, theta, Decision{Mode: lora.ModeMixture, Merged: mergedID, Batch: batch})
 	}
 
 	batch = p.appendUnmarked(batch, active, maxBS, -1)
 	p.batchBuf = batch
-	return Decision{Mode: lora.ModeUnmerged, Merged: -1, Batch: batch}
+	return p.withPreemption(it, theta, Decision{Mode: lora.ModeUnmerged, Merged: -1, Batch: batch})
+}
+
+// withPreemption attaches the displacement decision to d: every
+// starving deadline-carrying request stuck in the Waiting backlog is
+// paired with one displaceable active request (the eviction victim)
+// whose removal frees an admission slot. Victims are drawn from active
+// requests outside this round's batch that are not Unpreemptable and
+// are strictly less urgent than the requester: best-effort victims go
+// first (least recompute waste — the fewest emitted tokens — then the
+// latest arrival), then deadline-carrying victims with strictly looser
+// slack (loosest first). With Preempt off or nothing urgent waiting, d
+// is returned untouched — the exact deadline-blind decision.
+func (p *VaLoRAPolicy) withPreemption(it Iteration, theta time.Duration, d Decision) Decision {
+	if !p.Preempt || len(it.Waiting) == 0 {
+		return d
+	}
+	admit := p.admitBuf[:0]
+	for _, w := range it.Waiting {
+		if w.Deadline > 0 && w.Credit(it.Now, p.EstExec, p.SwitchLat) > p.effTheta(w, theta, it.Now) {
+			admit = append(admit, w)
+		}
+	}
+	p.admitBuf = admit
+	if len(admit) == 0 {
+		return d
+	}
+	// One victim per urgent requester: scan the unbatched, preemptable
+	// actives for the best displacement — best-effort first (fewest
+	// emitted tokens, then latest arrival), else the deadline-carrying
+	// active with the loosest slack, provided it is strictly looser
+	// than the requester's. A requester that finds no victim is simply
+	// dropped from the admission set (the eligibility test is relative
+	// to each requester, so a tighter deadline later in the backlog may
+	// still find one); paired compacts admit in place to the requesters
+	// that did.
+	evict := p.evictBuf[:0]
+	paired := admit[:0]
+	for _, w := range admit {
+		var victim *Request
+		for _, r := range it.Active {
+			if r.batchEpoch == p.epoch || r.Unpreemptable || r.evictEpoch == p.epoch {
+				continue
+			}
+			if r.Deadline > 0 && r.Slack(it.Now) <= w.Slack(it.Now) {
+				continue // as urgent as the requester: no net win
+			}
+			if victim == nil || LessUrgent(r, victim, it.Now) {
+				victim = r
+			}
+		}
+		if victim == nil {
+			continue
+		}
+		victim.evictEpoch = p.epoch
+		evict = append(evict, victim)
+		paired = append(paired, w)
+	}
+	p.evictBuf = evict
+	if len(evict) == 0 {
+		return d
+	}
+	d.Evict = evict
+	d.Admit = paired
+	return d
 }
 
 // capBatch truncates a batch to maxBS requests. (Used by the baseline

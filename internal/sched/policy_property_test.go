@@ -106,13 +106,93 @@ func TestPolicyInvariantsProperty(t *testing.T) {
 		now := 6 * time.Second
 		for _, p := range policies {
 			for _, cur := range states {
-				d := p.Decide(now, active, cur, maxBS)
+				d := p.Decide(Iteration{Now: now, Active: active, State: cur, MaxBS: maxBS})
 				decisionInvariants(t, p.Name(), d, active, maxBS)
 			}
 		}
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPreemptiveDecisionInvariants checks the structural properties of
+// displacement decisions: Evict is drawn from Active, disjoint from
+// the batch, never contains an Unpreemptable request, is paired
+// one-to-one with Admit, and Admit is drawn from Waiting.
+func TestPreemptiveDecisionInvariants(t *testing.T) {
+	f := func(seed int64, rawN, rawW, rawBS uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN)%80 + 1
+		w := int(rawW) % 24
+		maxBS := int(rawBS)%32 + 1
+		active := randomActive(rng, n, 8)
+		for _, r := range active {
+			if rng.Float64() < 0.3 {
+				r.Deadline = time.Duration(100+rng.Intn(900)) * time.Millisecond
+			}
+			if rng.Float64() < 0.2 {
+				r.Unpreemptable = true
+			}
+		}
+		waiting := randomActive(rng, w, 8)
+		for _, r := range waiting {
+			r.PrefillDone = false
+			r.Emitted = 0
+			if rng.Float64() < 0.7 {
+				r.Deadline = time.Duration(50+rng.Intn(400)) * time.Millisecond
+			}
+		}
+		p := NewVaLoRAPolicy()
+		p.Preempt = true
+		p.DeadlineCredit = rng.Intn(2) == 0
+		now := 6 * time.Second
+		d := p.Decide(Iteration{Now: now, Active: active, Waiting: waiting,
+			State: lora.State{Mode: lora.ModeUnmerged, Merged: -1}, MaxBS: maxBS})
+		decisionInvariants(t, "VaLoRA+preempt", d, active, maxBS)
+		if len(d.Evict) != len(d.Admit) {
+			t.Fatalf("evict %d and admit %d not paired", len(d.Evict), len(d.Admit))
+		}
+		inBatch := make(map[*Request]bool, len(d.Batch))
+		for _, r := range d.Batch {
+			inBatch[r] = true
+		}
+		inActive := make(map[*Request]bool, len(active))
+		for _, r := range active {
+			inActive[r] = true
+		}
+		seenVictim := make(map[*Request]bool)
+		for _, v := range d.Evict {
+			if v.Unpreemptable {
+				t.Fatalf("unpreemptable request %d chosen as victim", v.ID)
+			}
+			if inBatch[v] {
+				t.Fatalf("victim %d is also batched", v.ID)
+			}
+			if !inActive[v] {
+				t.Fatalf("victim %d not in the active set", v.ID)
+			}
+			if seenVictim[v] {
+				t.Fatalf("victim %d evicted twice", v.ID)
+			}
+			seenVictim[v] = true
+		}
+		inWaiting := make(map[*Request]bool, len(waiting))
+		for _, r := range waiting {
+			inWaiting[r] = true
+		}
+		for _, a := range d.Admit {
+			if !inWaiting[a] {
+				t.Fatalf("admitted request %d not in the waiting set", a.ID)
+			}
+			if a.Deadline <= 0 {
+				t.Fatalf("best-effort request %d admitted by displacement", a.ID)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -134,7 +214,7 @@ func TestPolicyServesEveryoneEventually(t *testing.T) {
 	now := 6 * time.Second
 	const step = 20 * time.Millisecond
 	for round := 0; round < 400 && len(served) < len(active); round++ {
-		d := p.Decide(now, active, cur, 16)
+		d := p.Decide(Iteration{Now: now, Active: active, State: cur, MaxBS: 16})
 		for _, r := range d.Batch {
 			served[r.ID] = true
 			r.MarkScheduled(now)

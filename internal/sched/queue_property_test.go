@@ -109,9 +109,9 @@ func TestVaLoRADecideSteadyStateAllocFree(t *testing.T) {
 	active := randomActive(rng, 64, 8)
 	cur := lora.State{Mode: lora.ModeUnmerged, Merged: -1}
 	now := 6 * time.Second
-	p.Decide(now, active, cur, 16) // warm the scratch buffers
+	p.Decide(Iteration{Now: now, Active: active, State: cur, MaxBS: 16}) // warm the scratch buffers
 	allocs := testing.AllocsPerRun(200, func() {
-		d := p.Decide(now, active, cur, 16)
+		d := p.Decide(Iteration{Now: now, Active: active, State: cur, MaxBS: 16})
 		if len(d.Batch) == 0 {
 			t.Fatal("non-empty active set must schedule something")
 		}

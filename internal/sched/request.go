@@ -63,6 +63,14 @@ type Request struct {
 	// Deadline is the application's latency budget (0 = best effort).
 	Deadline time.Duration
 
+	// PreemptCount records how many times the request has been evicted
+	// from an instance mid-service; Unpreemptable is the no-livelock
+	// guard — once the serving layer's MaxPreemptions bound is reached
+	// the request can never be displaced again, so an adversarial
+	// deadline mix cannot bounce a victim between instances forever.
+	PreemptCount  int
+	Unpreemptable bool
+
 	// Runtime state, owned by the server.
 	Phase       Phase
 	PrefillDone bool
@@ -85,8 +93,11 @@ type Request struct {
 	// batchEpoch marks membership in the batch VaLoRAPolicy is
 	// currently assembling (an epoch mark instead of a per-call set
 	// keeps Decide allocation-free). Requests live on exactly one
-	// server, so a single mark per request suffices.
+	// server, so a single mark per request suffices. evictEpoch marks
+	// requests already chosen as eviction victims this round so two
+	// urgent requesters never claim the same victim.
 	batchEpoch uint64
+	evictEpoch uint64
 }
 
 func (r *Request) String() string {
@@ -129,19 +140,89 @@ func (r *Request) Credit(now, estExec, switchLat time.Duration) time.Duration {
 // Latency reports end-to-end latency once finished.
 func (r *Request) Latency() time.Duration { return r.Finish - r.Arrival }
 
+// Slack reports the time remaining until the request's absolute
+// deadline (negative once the deadline has passed). Best-effort
+// requests (Deadline 0) have no slack notion; callers must check
+// Deadline > 0 first.
+func (r *Request) Slack(now time.Duration) time.Duration {
+	return r.Arrival + r.Deadline - now
+}
+
+// ClearScratchMarks zeroes the policy's per-epoch scratch marks. The
+// marks are meaningful only relative to one policy's epoch counter
+// ("requests live on exactly one server"), so the serving layer calls
+// this when a preempted request migrates to another instance — a stale
+// mark must never collide with the destination policy's epochs.
+func (r *Request) ClearScratchMarks() {
+	r.batchEpoch = 0
+	r.evictEpoch = 0
+}
+
+// LessUrgent orders preemption victims (shared by policy-driven
+// eviction and KV-pressure victim selection so the two can never
+// disagree about urgency): best-effort before deadline-carrying; among
+// best-effort the fewest emitted tokens (cheapest recompute), then the
+// latest arrival; among deadline carriers the loosest slack first.
+func LessUrgent(a, b *Request, now time.Duration) bool {
+	ab, bb := a.Deadline <= 0, b.Deadline <= 0
+	if ab != bb {
+		return ab
+	}
+	if ab {
+		if a.Emitted != b.Emitted {
+			return a.Emitted < b.Emitted
+		}
+		return a.Arrival > b.Arrival
+	}
+	return a.Slack(now) > b.Slack(now)
+}
+
+// Iteration is the scheduling context a Policy sees each round: the
+// engine's virtual time, the admitted work-in-progress set, the
+// arrived-but-unadmitted backlog, the runtime's current adapter state
+// and the batch cap. Deadline-blind policies read Now/Active/State/
+// MaxBS exactly as the positional Decide signature used to pass them;
+// deadline-aware policies additionally inspect each request's
+// Deadline/Priority and the Waiting backlog to produce displacement
+// decisions (Decision.Evict/Admit).
+type Iteration struct {
+	Now    time.Duration
+	Active []*Request
+	// Waiting holds requests that have arrived at the instance but sit
+	// outside the admitted set (AdmitCap backpressure). They cannot be
+	// batched this round; a preemptive policy may nominate them for
+	// admission by displacing active requests.
+	Waiting []*Request
+	State   lora.State
+	MaxBS   int
+}
+
 // Decision is a policy's output for one iteration.
 type Decision struct {
 	Mode   lora.Mode
 	Merged int // adapter to (keep) merged; -1 when unmerged
 	Batch  []*Request
+	// Evict names active requests the policy wants displaced from the
+	// instance this round: their KV is released and they are handed
+	// back to the cluster for re-placement (recompute on resume). The
+	// policy guarantees Evict is disjoint from Batch and contains no
+	// Unpreemptable request; engines without preemption enabled ignore
+	// it. Like Batch, the slice aliases policy scratch and is valid
+	// until the next Decide call.
+	Evict []*Request
+	// Admit names Waiting requests whose admission the evictions make
+	// room for (the starving tight-deadline requests that motivated the
+	// displacement). The engine moves them into the active set ahead of
+	// the FIFO admission order.
+	Admit []*Request
 }
 
 // Policy selects the batch and inference mode for the next iteration.
 type Policy interface {
 	Name() string
-	// Decide picks the next batch from the active requests. cur is the
-	// runtime's current state; maxBS caps the batch size in requests.
-	Decide(now time.Duration, active []*Request, cur lora.State, maxBS int) Decision
+	// Decide picks the next batch (and, for preemptive policies, the
+	// eviction/admission sets) from the iteration context.
+	Decide(it Iteration) Decision
 }
 
 // mostCommonAdapter returns the adapter with the most active requests

@@ -76,7 +76,7 @@ func TestVaLoRAPolicyFullMerge(t *testing.T) {
 	// 40 requests, all on adapter 7: the dominant cohort fills MaxBS
 	// with nobody starving → pure merged mode (Alg. 1 line 7-8).
 	active := mkRequests(repeat(7, 40), 0)
-	d := p.Decide(time.Millisecond, active, lora.State{Mode: lora.ModeUnmerged, Merged: -1}, 32)
+	d := p.Decide(Iteration{Now: time.Millisecond, Active: active, State: lora.State{Mode: lora.ModeUnmerged, Merged: -1}, MaxBS: 32})
 	if d.Mode != lora.ModeMerged || d.Merged != 7 {
 		t.Fatalf("want merged on adapter 7, got %v/%d", d.Mode, d.Merged)
 	}
@@ -91,7 +91,7 @@ func TestVaLoRAPolicyMixtureMajority(t *testing.T) {
 	// mixture, carrying everyone.
 	ids := append(repeat(1, 20), []int{2, 3, 4, 5, 6, 2, 3, 4, 5, 6}...)
 	active := mkRequests(ids, 0)
-	d := p.Decide(time.Millisecond, active, lora.State{Mode: lora.ModeUnmerged, Merged: -1}, 32)
+	d := p.Decide(Iteration{Now: time.Millisecond, Active: active, State: lora.State{Mode: lora.ModeUnmerged, Merged: -1}, MaxBS: 32})
 	if d.Mode != lora.ModeMixture || d.Merged != 1 {
 		t.Fatalf("want mixture on adapter 1, got %v/%d", d.Mode, d.Merged)
 	}
@@ -104,7 +104,7 @@ func TestVaLoRAPolicyUnmergeFallback(t *testing.T) {
 	p := NewVaLoRAPolicy()
 	// No majority: unmerged FCFS.
 	active := mkRequests([]int{1, 2, 3, 4, 5, 6, 7, 8}, 0)
-	d := p.Decide(time.Millisecond, active, lora.State{Mode: lora.ModeUnmerged, Merged: -1}, 32)
+	d := p.Decide(Iteration{Now: time.Millisecond, Active: active, State: lora.State{Mode: lora.ModeUnmerged, Merged: -1}, MaxBS: 32})
 	if d.Mode != lora.ModeUnmerged {
 		t.Fatalf("want unmerged, got %v", d.Mode)
 	}
@@ -121,7 +121,7 @@ func TestVaLoRAPolicyStarvationPriority(t *testing.T) {
 	active := mkRequests(repeat(1, 40), 900*time.Millisecond)
 	starved := &Request{ID: 99, AdapterID: 2, Arrival: 0, InputTokens: 64, OutputTokens: 8}
 	active = append([]*Request{starved}, active...)
-	d := p.Decide(time.Second, active, lora.State{Mode: lora.ModeMerged, Merged: 1}, 32)
+	d := p.Decide(Iteration{Now: time.Second, Active: active, State: lora.State{Mode: lora.ModeMerged, Merged: 1}, MaxBS: 32})
 	found := false
 	for _, r := range d.Batch {
 		if r.ID == 99 {
@@ -141,7 +141,7 @@ func TestVaLoRAPolicyDisableMixture(t *testing.T) {
 	p.DisableMixture = true
 	ids := append(repeat(1, 20), []int{2, 3, 4, 5, 6, 2, 3, 4, 5, 6}...)
 	active := mkRequests(ids, 0)
-	d := p.Decide(time.Millisecond, active, lora.State{Mode: lora.ModeUnmerged, Merged: -1}, 32)
+	d := p.Decide(Iteration{Now: time.Millisecond, Active: active, State: lora.State{Mode: lora.ModeUnmerged, Merged: -1}, MaxBS: 32})
 	if d.Mode == lora.ModeMixture {
 		t.Fatal("mixture disabled but chosen")
 	}
@@ -153,14 +153,14 @@ func TestVaLoRAPolicyHysteresis(t *testing.T) {
 	// (more, but < 1.5×33): hysteresis sticks with 1.
 	ids := append(repeat(1, 33), repeat(2, 40)...)
 	active := mkRequests(ids, 0)
-	d := p.Decide(time.Millisecond, active, lora.State{Mode: lora.ModeMerged, Merged: 1}, 32)
+	d := p.Decide(Iteration{Now: time.Millisecond, Active: active, State: lora.State{Mode: lora.ModeMerged, Merged: 1}, MaxBS: 32})
 	if d.Merged != 1 {
 		t.Fatalf("hysteresis should keep adapter 1 merged, got %d", d.Merged)
 	}
 	// 2× the cohort: switch.
 	ids = append(repeat(1, 20), repeat(2, 40)...)
 	active = mkRequests(ids, 0)
-	d = p.Decide(time.Millisecond, active, lora.State{Mode: lora.ModeMerged, Merged: 1}, 32)
+	d = p.Decide(Iteration{Now: time.Millisecond, Active: active, State: lora.State{Mode: lora.ModeMerged, Merged: 1}, MaxBS: 32})
 	if d.Merged != 2 {
 		t.Fatalf("clear dominance should switch to adapter 2, got %d", d.Merged)
 	}
@@ -169,7 +169,7 @@ func TestVaLoRAPolicyHysteresis(t *testing.T) {
 func TestVaLoRAPolicyEmpty(t *testing.T) {
 	p := NewVaLoRAPolicy()
 	cur := lora.State{Mode: lora.ModeMerged, Merged: 3}
-	d := p.Decide(0, nil, cur, 32)
+	d := p.Decide(Iteration{Now: 0, Active: nil, State: cur, MaxBS: 32})
 	if len(d.Batch) != 0 || d.Mode != cur.Mode || d.Merged != cur.Merged {
 		t.Fatal("empty active set should keep the current state")
 	}
@@ -181,7 +181,7 @@ func TestUnmergeOnlyPolicy(t *testing.T) {
 		t.Fatal("system name not used")
 	}
 	active := mkRequests(repeat(1, 50), 0)
-	d := p.Decide(0, active, lora.State{}, 32)
+	d := p.Decide(Iteration{Now: 0, Active: active, State: lora.State{}, MaxBS: 32})
 	if d.Mode != lora.ModeUnmerged || len(d.Batch) != 32 || d.Merged != -1 {
 		t.Fatalf("unmerge-only decision wrong: %v", d)
 	}
@@ -194,13 +194,13 @@ func TestMergeOnlyPolicy(t *testing.T) {
 	p := &MergeOnlyPolicy{}
 	ids := append(repeat(4, 10), repeat(5, 3)...)
 	active := mkRequests(ids, 0)
-	d := p.Decide(0, active, lora.State{Mode: lora.ModeUnmerged, Merged: -1}, 32)
+	d := p.Decide(Iteration{Now: 0, Active: active, State: lora.State{Mode: lora.ModeUnmerged, Merged: -1}, MaxBS: 32})
 	if d.Mode != lora.ModeMerged || d.Merged != 4 || len(d.Batch) != 10 {
 		t.Fatalf("merge-only should pick the popular adapter: %v/%d/%d", d.Mode, d.Merged, len(d.Batch))
 	}
 	// Stickiness: while adapter 5 still has work, keep it merged even
 	// though 4 is more popular.
-	d = p.Decide(0, active, lora.State{Mode: lora.ModeMerged, Merged: 5}, 32)
+	d = p.Decide(Iteration{Now: 0, Active: active, State: lora.State{Mode: lora.ModeMerged, Merged: 5}, MaxBS: 32})
 	if d.Merged != 5 {
 		t.Fatal("merge-only should finish the current adapter's work first")
 	}
@@ -213,12 +213,12 @@ func TestDLoRAPolicy(t *testing.T) {
 	}
 	// Majority → merged.
 	ids := append(repeat(1, 10), []int{2, 3}...)
-	d := p.Decide(0, mkRequests(ids, 0), lora.State{Mode: lora.ModeUnmerged, Merged: -1}, 32)
+	d := p.Decide(Iteration{Active: mkRequests(ids, 0), State: lora.State{Mode: lora.ModeUnmerged, Merged: -1}, MaxBS: 32})
 	if d.Mode != lora.ModeMerged || d.Merged != 1 {
 		t.Fatalf("dLoRA should merge the majority adapter: %v", d)
 	}
 	// No majority → unmerged.
-	d = p.Decide(0, mkRequests([]int{1, 2, 3, 4, 5}, 0), lora.State{Mode: lora.ModeUnmerged, Merged: -1}, 32)
+	d = p.Decide(Iteration{Active: mkRequests([]int{1, 2, 3, 4, 5}, 0), State: lora.State{Mode: lora.ModeUnmerged, Merged: -1}, MaxBS: 32})
 	if d.Mode != lora.ModeUnmerged {
 		t.Fatalf("dLoRA should unmerge without a majority: %v", d.Mode)
 	}

@@ -220,6 +220,27 @@ func (q *TenantQueue) Push(r *Request) bool {
 	return true
 }
 
+// Requeue re-admits a preempted request, bypassing the tenant's
+// QueueCap: the request was already admitted (and survived the cap)
+// once, so shedding it at the cap on the way back would turn a
+// displacement into a drop. Age and deadline are untouched — the EDF
+// key (Arrival+Deadline) puts it back exactly where its urgency says,
+// ahead of younger work.
+func (q *TenantQueue) Requeue(r *Request) {
+	ts := q.stateOf(r.Tenant)
+	q.seq++
+	ts.push(tenantItem{req: r, seq: q.seq})
+	q.size++
+}
+
+// Refund returns cost units charged at a placement that a preemption
+// undid, so the tenant's served share reflects work actually retained.
+func (q *TenantQueue) Refund(tenant string, cost float64) {
+	ts := q.stateOf(tenant)
+	ts.served -= cost
+	q.served -= cost
+}
+
 // deficit is the tenant's unspent guaranteed quota in cost units:
 // its entitled fraction of all served work minus the work it has
 // consumed. Positive means under quota.

@@ -51,11 +51,16 @@ type Report struct {
 	SwapStall      time.Duration
 	// SwapBytes counts host→device bytes the adapter pool copied over
 	// PCIe (the GPU-tier fill traffic).
-	SwapBytes      int64
-	Preemptions    int
-	PrefixHitRate  float64
-	DeadlineMisses int
-	DeadlineTotal  int
+	SwapBytes int64
+	// Preemptions counts every displacement (policy-driven evictions
+	// and KV-pressure recompute preemptions); RecomputeTokens the
+	// already-computed tokens those displacements will re-prefill on
+	// resume — the recompute cost model's currency.
+	Preemptions     int
+	RecomputeTokens int
+	PrefixHitRate   float64
+	DeadlineMisses  int
+	DeadlineTotal   int
 
 	// Tiered adapter-distribution accounting, populated when a
 	// registry store backs the run (zero otherwise). GPU-tier lookups
@@ -111,6 +116,14 @@ type TenantReport struct {
 	SLOTotal int
 	// E2E summarizes the tenant's end-to-end latencies (ms).
 	E2E metrics.Summary
+	// Preemptions counts the tenant's displacements across instances;
+	// RecomputeTokens the re-prefill cost they cost the tenant;
+	// PreemptedE2E summarizes end-to-end latency (ms) of the tenant's
+	// completed requests that were preempted at least once — the price
+	// a displaced request actually paid.
+	Preemptions     int
+	RecomputeTokens int
+	PreemptedE2E    metrics.Summary
 	// ServedShare is the tenant's fraction of the charged work.
 	ServedShare float64
 	// Throughput is the tenant's completed requests per simulated
@@ -158,6 +171,7 @@ func (r *Report) Merge(other *Report) {
 	r.PrefetchBytes += other.PrefetchBytes
 	r.ColdStarts += other.ColdStarts
 	r.Preemptions += other.Preemptions
+	r.RecomputeTokens += other.RecomputeTokens
 	r.DeadlineMisses += other.DeadlineMisses
 	r.DeadlineTotal += other.DeadlineTotal
 	if r.ModeIterations == nil {
@@ -213,6 +227,9 @@ func (r *Report) String() string {
 			100*r.GPUTierHitRate(), 100*r.HostHitRate(), r.RemoteFetches+r.PrefetchFetches,
 			float64(r.FetchBytes+r.PrefetchBytes)/float64(1<<20), r.PrefetchFetches,
 			r.ColdStarts, r.ColdTTFT.P99)
+	}
+	if r.Preemptions > 0 {
+		fmt.Fprintf(&b, "  preemptions %d (%d tokens recomputed)\n", r.Preemptions, r.RecomputeTokens)
 	}
 	if len(r.Tenants) > 0 {
 		fmt.Fprintf(&b, "  fairness (Jain) %.3f, shed %d, scale +%d/-%d (peak %d instances)\n",

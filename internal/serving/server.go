@@ -57,6 +57,30 @@ type Options struct {
 	// 0 keeps exact unbounded retention. Stress runs replaying millions
 	// of requests set it so the streams stop growing with the trace.
 	LatencySampleCap int
+	// Preemption, when set, enables iteration-level preemption: the
+	// policy's Decision.Evict victims are displaced from the instance
+	// (KV released, recompute on resume) so starving tight-deadline
+	// requests get their slots, and KV-pressure victims are chosen
+	// deadline-aware. nil (the default) keeps the deadline-blind
+	// engine behavior bit-for-bit.
+	Preemption *PreemptionConfig
+}
+
+// PreemptionConfig shapes iteration-level preemption.
+type PreemptionConfig struct {
+	// MaxPreemptions is the no-livelock guard: a request displaced this
+	// many times becomes Unpreemptable and can never be evicted again,
+	// so an adversarial deadline mix cannot bounce a victim between
+	// instances forever. Default 2.
+	MaxPreemptions int
+}
+
+func (p *PreemptionConfig) withDefaults() *PreemptionConfig {
+	out := *p
+	if out.MaxPreemptions <= 0 {
+		out.MaxPreemptions = 2
+	}
+	return &out
 }
 
 func (o *Options) withDefaults() error {
@@ -93,6 +117,9 @@ func (o *Options) withDefaults() error {
 	}
 	if o.Name == "" {
 		o.Name = o.Policy.Name()
+	}
+	if o.Preemption != nil {
+		o.Preemption = o.Preemption.withDefaults()
 	}
 	return nil
 }
@@ -143,6 +170,16 @@ type Server struct {
 	// error rather than an infinite Drain.
 	capacityStalls int
 
+	// onPreempt, when installed (managed clusters), receives each
+	// evicted request for cluster-level re-admission: the request flows
+	// back into the fair-share queue with its age and deadline intact
+	// and may be re-placed on another instance. nil routes evictions
+	// back into this instance's own waiting queue.
+	onPreempt func(*sched.Request)
+	// stepEvicted collects the requests displaced during the current
+	// Step so the active sweep can drop them (reused scratch).
+	stepEvicted []*sched.Request
+
 	// Per-iteration scratch, reused across Steps so the scheduling
 	// loop stays allocation-free in steady state.
 	scratchNeeded      []*lora.Adapter
@@ -172,7 +209,14 @@ type tenantStat struct {
 	rejected  int
 	sloMet    int
 	sloTotal  int
-	e2e       *metrics.Stream
+	// preempted counts evictions charged at the instance that displaced
+	// the request; recompute the tokens that will be re-prefilled on
+	// resume; preemptedE2E the end-to-end latency of completed requests
+	// that were preempted at least once (charged where they finish).
+	preempted    int
+	recompute    int
+	e2e          *metrics.Stream
+	preemptedE2E *metrics.Stream
 }
 
 // tenantStatOf lazily creates the per-tenant accumulator.
@@ -182,11 +226,20 @@ func (s *Server) tenantStatOf(name string) *tenantStat {
 	}
 	ts, ok := s.tenants[name]
 	if !ok {
-		ts = &tenantStat{e2e: metrics.NewBoundedStream(s.opts.LatencySampleCap)}
+		ts = &tenantStat{
+			e2e:          metrics.NewBoundedStream(s.opts.LatencySampleCap),
+			preemptedE2E: metrics.NewBoundedStream(s.opts.LatencySampleCap),
+		}
 		s.tenants[name] = ts
 	}
 	return ts
 }
+
+// SetPreemptHandler installs the cluster's re-admission hook: every
+// evicted request is handed to it instead of re-entering this
+// instance's own waiting queue. Managed clusters route the hook into
+// the fair-share TenantQueue.
+func (s *Server) SetPreemptHandler(h func(*sched.Request)) { s.onPreempt = h }
 
 // NewServer builds a serving instance.
 func NewServer(opts Options) (*Server, error) {
@@ -302,10 +355,19 @@ func (s *Server) Step() (bool, error) {
 		return true, nil
 	}
 
-	d := s.opts.Policy.Decide(now, s.active, s.state, s.opts.MaxBatch)
+	d := s.opts.Policy.Decide(sched.Iteration{
+		Now:     now,
+		Active:  s.active,
+		Waiting: s.waiting,
+		State:   s.state,
+		MaxBS:   s.opts.MaxBatch,
+	})
+	if s.opts.Preemption != nil && len(d.Evict) > 0 {
+		s.executeEvictions(&d)
+	}
 	batch := s.admit(d.Batch)
 	batch = s.ensureKVHeadroom(batch)
-	s.active = filterDone(s.active) // drop rejected requests
+	s.sweepActive() // drop rejected and displaced requests
 	if len(batch) == 0 {
 		// Nothing schedulable (e.g. KV pressure): let time move to
 		// the next arrival or retry after a scheduling quantum.
@@ -569,6 +631,110 @@ func (s *Server) Run(trace workload.Trace) (*Report, error) {
 	return s.Drain()
 }
 
+// executeEvictions runs the policy's displacement decision: every
+// Evict victim leaves the instance (KV released, recompute on resume,
+// re-admission routing), and the nominated Admit requests take the
+// freed slots ahead of the FIFO admission order — the point of the
+// displacement. The batch and active set are scrubbed of victims
+// before residency resolution so a displaced adapter is never part of
+// this iteration's working set (nothing per-request stays pinned:
+// adapter-pool pins are re-derived from the batch each Require, so
+// releasing the slot is enough to unpin the victim's adapter).
+func (s *Server) executeEvictions(d *sched.Decision) {
+	for _, r := range d.Evict {
+		if r.Unpreemptable || r.Phase == sched.PhaseDone {
+			continue // stale decision: the guard always wins
+		}
+		s.evictOut(r)
+	}
+	if len(s.stepEvicted) == 0 {
+		return
+	}
+	// The policy keeps Evict disjoint from Batch; scrub defensively so
+	// a misbehaving policy cannot serve a request it displaced.
+	batch := d.Batch[:0]
+	for _, r := range d.Batch {
+		if !s.wasEvicted(r) {
+			batch = append(batch, r)
+		}
+	}
+	d.Batch = batch
+	s.sweepActive()
+	for _, w := range d.Admit {
+		if len(s.active) >= s.opts.AdmitCap {
+			break
+		}
+		for i, q := range s.waiting {
+			if q == w {
+				s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
+				s.active = append(s.active, w)
+				break
+			}
+		}
+	}
+}
+
+// evictOut displaces one request from the instance: its KV is
+// released (prompt plus generated tokens re-prefill on resume), the
+// recompute cost is accounted, the no-livelock guard advances, and the
+// request is handed back for re-placement — to the cluster's
+// re-admission hook when installed (fair-share can then re-place it,
+// possibly on another instance), else to this instance's own waiting
+// queue. The caller sweeps the active set afterwards (sweepActive).
+func (s *Server) evictOut(r *sched.Request) {
+	recompute := s.preempt(r)
+	r.PreemptCount++
+	if r.PreemptCount >= s.opts.Preemption.MaxPreemptions {
+		r.Unpreemptable = true
+	}
+	if r.Tenant != "" {
+		ts := s.tenantStatOf(r.Tenant)
+		ts.preempted++
+		ts.recompute += recompute
+	}
+	s.stepEvicted = append(s.stepEvicted, r)
+	if s.onPreempt != nil {
+		// The request leaves this instance's accounting; the cluster
+		// re-Submit counts it wherever it lands next. Its policy-epoch
+		// scratch marks are meaningless on another instance's policy
+		// and must not collide with its epochs.
+		r.ClearScratchMarks()
+		s.report.Requests--
+		s.onPreempt(r)
+	} else {
+		s.waiting = append(s.waiting, r)
+	}
+}
+
+// wasEvicted reports whether r was displaced during the current Step.
+func (s *Server) wasEvicted(r *sched.Request) bool {
+	for _, e := range s.stepEvicted {
+		if e == r {
+			return true
+		}
+	}
+	return false
+}
+
+// sweepActive drops finished and just-displaced requests from the
+// active set. With no displacements this round it is exactly the old
+// filterDone sweep.
+func (s *Server) sweepActive() {
+	if len(s.stepEvicted) == 0 {
+		s.active = filterDone(s.active)
+		return
+	}
+	out := s.active[:0]
+	for _, r := range s.active {
+		if r.Phase == sched.PhaseDone || s.wasEvicted(r) {
+			continue
+		}
+		out = append(out, r)
+	}
+	s.active = out
+	s.stepEvicted = s.stepEvicted[:0]
+}
+
 // admit filters a proposed batch down to requests whose KV needs fit,
 // allocating prompt KV (with prefix-cache lookups) for requests
 // entering prefill. A preempted request re-prefills its prompt plus
@@ -624,22 +790,53 @@ func (s *Server) admit(batch []*sched.Request) []*sched.Request {
 // recompute preemption of vLLM-style engines.
 func (s *Server) ensureKVHeadroom(batch []*sched.Request) []*sched.Request {
 	for len(batch) > 0 && s.kv.FreeBlocks() < len(batch) {
-		// Shed the most recently admitted prefill entrant first.
-		shed := -1
-		for i := len(batch) - 1; i >= 0; i-- {
-			if !batch[i].PrefillDone && batch[i].Emitted == 0 {
-				shed = i
-				break
-			}
-		}
-		if shed < 0 {
-			shed = len(batch) - 1 // preempt the last decoding request
-		}
+		shed := s.kvVictim(batch)
 		victim := batch[shed]
-		s.preempt(victim)
+		if s.opts.Preemption != nil && !victim.Unpreemptable {
+			// Displacement instead of in-place recompute: the victim
+			// flows back for re-admission (another instance may hold KV
+			// headroom this one lacks), and the deadline-aware victim
+			// choice keeps KV pressure off tight-deadline requests.
+			s.evictOut(victim)
+		} else {
+			s.preempt(victim)
+		}
 		batch = append(batch[:shed], batch[shed+1:]...)
 	}
 	return batch
+}
+
+// kvVictim picks which batch member loses its KV when headroom is
+// short. The deadline-blind rule (preemption off) sheds the most
+// recently admitted prefill entrant, else the last decoding request —
+// the historical vLLM-style recompute order. With preemption enabled
+// the choice is deadline-aware (sched.LessUrgent, the same ranking
+// policy evictions use): the least urgent preemptable member, so
+// pressure never lands on the tight deadline preemption is
+// protecting; only when every member is unpreemptable does the blind
+// rule apply again.
+func (s *Server) kvVictim(batch []*sched.Request) int {
+	if s.opts.Preemption != nil {
+		now := s.clock.Now()
+		best := -1
+		for i, r := range batch {
+			if r.Unpreemptable {
+				continue
+			}
+			if best < 0 || sched.LessUrgent(r, batch[best], now) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	for i := len(batch) - 1; i >= 0; i-- {
+		if !batch[i].PrefillDone && batch[i].Emitted == 0 {
+			return i
+		}
+	}
+	return len(batch) - 1
 }
 
 // dropUnhosted strips a batch of requests whose adapters the pool
@@ -718,7 +915,7 @@ func (s *Server) mergedCohortFallback() []*sched.Request {
 	}
 	cohort = s.admit(cohort)
 	cohort = s.ensureKVHeadroom(cohort)
-	s.active = filterDone(s.active)
+	s.sweepActive()
 	return cohort
 }
 
@@ -739,14 +936,23 @@ func (s *Server) reject(r *sched.Request) {
 	}
 }
 
-// preempt releases a request's KV; it will re-prefill (prompt + tokens
-// generated so far) when next scheduled.
-func (s *Server) preempt(r *sched.Request) {
+// preempt releases a request's KV (recompute-on-resume: the prompt
+// plus the tokens generated so far re-prefill when next scheduled) and
+// accounts the displacement, returning the recompute cost. It is the
+// shared release step of both in-place KV-pressure preemption and
+// evictOut's off-instance displacement.
+func (s *Server) preempt(r *sched.Request) int {
+	recompute := r.Emitted
+	if r.PrefillDone {
+		recompute += r.InputTokens - r.SharedTokens
+	}
 	s.kv.Release(r.ID)
 	r.PrefillDone = false
 	r.SharedTokens = 0
 	r.Phase = sched.PhaseQueued
 	s.report.Preemptions++
+	s.report.RecomputeTokens += recompute
+	return recompute
 }
 
 func (s *Server) finish(r *sched.Request) {
@@ -766,6 +972,9 @@ func (s *Server) finish(r *sched.Request) {
 		ts := s.tenantStatOf(r.Tenant)
 		ts.completed++
 		ts.e2e.AddDuration(lat)
+		if r.PreemptCount > 0 {
+			ts.preemptedE2E.AddDuration(lat)
+		}
 		if r.Deadline > 0 {
 			ts.sloTotal++
 			if lat <= r.Deadline {

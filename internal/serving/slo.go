@@ -168,6 +168,22 @@ func (c *Cluster) runManaged(trace workload.Trace) (*Report, error) {
 		}
 	}
 
+	// Preempted requests flow back into the cluster queue as
+	// first-class re-admissions: age and deadline intact (EDF re-ranks
+	// them by their original urgency), QueueCap bypassed (they already
+	// passed admission once), and the placement charge refunded so the
+	// fair-share deficit reflects only retained work. The next
+	// dispatchQueued — AfterStep runs one after every instance step —
+	// re-places them, possibly on another instance.
+	requeue := func(r *sched.Request) {
+		tq.Requeue(r)
+		tq.Refund(r.Tenant, sched.RequestCost(r))
+	}
+	installPreempt := func(srv *Server) { srv.SetPreemptHandler(requeue) }
+	for _, srv := range c.servers {
+		installPreempt(srv)
+	}
+
 	var cands []int
 	var candServers []*Server
 	dispatchQueued := func(now time.Duration) error {
@@ -235,6 +251,7 @@ func (c *Cluster) runManaged(trace workload.Trace) (*Report, error) {
 			}
 			srv.AdvanceClockTo(now) // join at cluster time, not t=0
 			srv.id = len(c.servers) // stable identity, never reused
+			installPreempt(srv)
 			c.servers = append(c.servers, srv)
 			state = append(state, instanceState{})
 			tl.Add(srv)
@@ -370,21 +387,26 @@ func (c *Cluster) fillTenantReports(agg *Report, tq *sched.TenantQueue,
 
 	type acc struct {
 		completed, rejected, sloMet, sloTotal int
+		preempted, recompute                  int
 		e2e                                   *metrics.Stream
+		preemptedE2E                          *metrics.Stream
 	}
 	accs := make(map[string]*acc)
 	for _, srv := range c.servers {
 		for name, ts := range srv.tenants {
 			a, ok := accs[name]
 			if !ok {
-				a = &acc{e2e: metrics.NewStream()}
+				a = &acc{e2e: metrics.NewStream(), preemptedE2E: metrics.NewStream()}
 				accs[name] = a
 			}
 			a.completed += ts.completed
 			a.rejected += ts.rejected
 			a.sloMet += ts.sloMet
 			a.sloTotal += ts.sloTotal
+			a.preempted += ts.preempted
+			a.recompute += ts.recompute
 			a.e2e.Merge(ts.e2e)
+			a.preemptedE2E.Merge(ts.preemptedE2E)
 		}
 	}
 
@@ -413,18 +435,21 @@ func (c *Cluster) fillTenantReports(agg *Report, tq *sched.TenantQueue,
 	for _, name := range names {
 		a := accs[name]
 		if a == nil {
-			a = &acc{e2e: metrics.NewStream()}
+			a = &acc{e2e: metrics.NewStream(), preemptedE2E: metrics.NewStream()}
 		}
 		tr := TenantReport{
-			Name:      name,
-			Priority:  prio[name],
-			Submitted: submitted[name],
-			Completed: a.completed,
-			Shed:      shedByTenant[name],
-			Rejected:  a.rejected,
-			SLOMet:    a.sloMet,
-			SLOTotal:  a.sloTotal + shedSLO[name],
-			E2E:       a.e2e.Summarize(),
+			Name:            name,
+			Priority:        prio[name],
+			Submitted:       submitted[name],
+			Completed:       a.completed,
+			Shed:            shedByTenant[name],
+			Rejected:        a.rejected,
+			SLOMet:          a.sloMet,
+			SLOTotal:        a.sloTotal + shedSLO[name],
+			E2E:             a.e2e.Summarize(),
+			Preemptions:     a.preempted,
+			RecomputeTokens: a.recompute,
+			PreemptedE2E:    a.preemptedE2E.Summarize(),
 		}
 		if totalServed > 0 {
 			tr.ServedShare = served[name] / totalServed

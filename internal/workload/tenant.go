@@ -199,6 +199,53 @@ func DefaultTenantClasses() []sched.TenantConfig {
 	}
 }
 
+// PreemptTenantClasses returns the scheduling-side service classes of
+// DefaultPreemptMix: the realtime class holds most of the guaranteed
+// capacity; the batch class gets a deep queue and absorbs displacement
+// (its requests are the natural preemption victims).
+func PreemptTenantClasses() []sched.TenantConfig {
+	return []sched.TenantConfig{
+		{Name: "realtime", Weight: 3, Burst: 2, QueueCap: 1024, Priority: 2},
+		{Name: "batch", Weight: 1, Burst: 1, QueueCap: 4096, Priority: 0},
+	}
+}
+
+// DefaultPreemptMix is the two-class adversarial scenario of the
+// preemption-tail experiment: a tight-deadline realtime class (250 ms
+// video analytics, small requests, bursty) interleaved with a
+// best-effort batch class whose long decodes occupy instance
+// admission slots and KV for hundreds of iterations. At ~1.5x offered
+// load the batch class keeps every instance's admitted set full, so a
+// realtime burst arriving mid-decode-train exposes exactly the tail
+// iteration-level preemption attacks. Rates are per instance of cluster capacity;
+// scale multiplies them.
+func DefaultPreemptMix(duration time.Duration, scale float64, seed int64) MultiTenantConfig {
+	if scale <= 0 {
+		scale = 1
+	}
+	return MultiTenantConfig{
+		Duration: duration,
+		Seed:     seed,
+		Tenants: []TenantTraffic{
+			{
+				Tenant: "realtime", Priority: 2, App: sched.VideoAnalytics,
+				Rate: 15 * scale, Diurnal: 0.2,
+				BurstRate: 15 * scale, BurstEvery: 6 * time.Second, BurstDuration: 1500 * time.Millisecond,
+				NumAdapters: 4, AdapterOffset: 0, Skew: 0.7,
+				MinInputTokens: 32, MaxInputTokens: 96, MaxOutputTokens: 2,
+				Deadline: 250 * time.Millisecond,
+			},
+			{
+				Tenant: "batch", Priority: 0, App: sched.VisualRetrieval,
+				Rate: 12 * scale, Diurnal: 0.1,
+				BurstRate: 20 * scale, BurstEvery: 8 * time.Second, BurstDuration: 2 * time.Second,
+				NumAdapters: 8, AdapterOffset: 4, Skew: 0.4,
+				MinInputTokens: 128, MaxInputTokens: 256, MaxOutputTokens: 96,
+			},
+		},
+	}
+}
+
 // DefaultMultiTenant is the three-class scenario of the multi-tenant
 // experiment — the service mix VaLoRA's vision applications meet in
 // deployment:

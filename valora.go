@@ -91,6 +91,11 @@ type (
 	// ResidencyQuota bounds one tenant's host-tier residency
 	// (guaranteed pinned bytes plus a protected burst envelope).
 	ResidencyQuota = registry.TenantQuota
+	// PreemptionConfig enables iteration-level preemption on an
+	// instance (displacement of admitted requests in favor of starving
+	// tight-deadline ones, with an unpreemptable-after-N livelock
+	// guard). See Config.Preemption.
+	PreemptionConfig = serving.PreemptionConfig
 )
 
 // Serving systems.
@@ -135,6 +140,16 @@ type Config struct {
 	// is host-resident. Instances of one cluster share the store; nil
 	// keeps the paper's host-resident assumption.
 	Store *AdapterStore
+	// Preemption enables iteration-level preemption (VaLoRA system
+	// only): the policy may displace admitted requests so starving
+	// tight-deadline arrivals get their slots, with recompute-on-resume
+	// and an unpreemptable-after-N guard. nil keeps the deadline-blind
+	// engine exactly.
+	Preemption *PreemptionConfig
+	// DeadlineCredit makes Algorithm 1's starvation credit
+	// urgency-weighted (the tolerance θ shrinks with a request's
+	// slack-to-deadline). VaLoRA system only.
+	DeadlineCredit bool
 }
 
 // System is a ready-to-serve instance.
@@ -176,6 +191,11 @@ func (cfg Config) options() (serving.Options, error) {
 		opts.Registry = lora.NewRegistry(cfg.Adapters...)
 	}
 	opts.Store = cfg.Store
+	opts.Preemption = cfg.Preemption
+	if p, ok := opts.Policy.(*sched.VaLoRAPolicy); ok {
+		p.Preempt = cfg.Preemption != nil
+		p.DeadlineCredit = cfg.DeadlineCredit
+	}
 	return opts, nil
 }
 
@@ -341,6 +361,19 @@ func StressWorkload(n int, seed int64) Trace {
 func MultiTenantWorkload(duration time.Duration, scale float64, seed int64) Trace {
 	return workload.GenMultiTenant(workload.DefaultMultiTenant(duration, scale, seed))
 }
+
+// PreemptMixWorkload synthesizes the two-class preemption-tail trace:
+// tight-deadline realtime video analytics against long-decode
+// best-effort batch work at ~1.5x offered load — the adversarial mix
+// iteration-level preemption (Config.Preemption) is built for. Same
+// seed, same trace.
+func PreemptMixWorkload(duration time.Duration, scale float64, seed int64) Trace {
+	return workload.GenMultiTenant(workload.DefaultPreemptMix(duration, scale, seed))
+}
+
+// PreemptTenantClasses returns the two service classes of the
+// preemption-tail experiment (realtime / batch).
+func PreemptTenantClasses() []TenantSpec { return workload.PreemptTenantClasses() }
 
 // Knowledge is one domain dataset to integrate, with its accuracy
 // floor.

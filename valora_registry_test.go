@@ -24,7 +24,9 @@ func TestFacadeAdapterStore(t *testing.T) {
 		RemoteLatency:   5 * time.Millisecond,
 		RemoteBandwidth: 2e9,
 	}, adapters, func(id int) string { return "app" })
-	store.SetQuota("app", valora.ResidencyQuota{GuaranteedBytes: 3 * ab, BurstBytes: ab})
+	if err := store.SetQuota("app", valora.ResidencyQuota{GuaranteedBytes: 3 * ab, BurstBytes: ab}); err != nil {
+		t.Fatal(err)
+	}
 
 	sys, err := valora.New(valora.Config{
 		Adapters:         adapters,
