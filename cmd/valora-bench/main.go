@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	valora-bench [-quick] [-id fig14] [-csv DIR] [-out DIR]
+//	valora-bench [-quick] [-id fig14] [-csv DIR] [-out DIR] [-shards N]
 package main
 
 import (
@@ -27,12 +27,14 @@ func main() {
 		id     = flag.String("id", "", "run a single experiment by id (empty = all)")
 		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files")
 		outDir = flag.String("out", "", "directory for persistent artifacts like BENCH_serving.json (default: current directory)")
+		shards = flag.Int("shards", 0, "add this shard count to the stress experiment's sweep and use it for the headline run (0 = defaults)")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
 	suite := bench.NewSuite(*quick)
 	suite.OutDir = *outDir
+	suite.Shards = *shards
 	if *list {
 		for _, e := range suite.All() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Desc)

@@ -1,17 +1,33 @@
 package atmm
 
 import (
+	"sync"
 	"time"
 
 	"valora/internal/simgpu"
 	"valora/internal/tiling"
 )
 
+// segScratch holds the per-call segment slices of one LayerTime
+// invocation. Operators are memoized and shared across instances (and,
+// under the sharded engine, across goroutines), so the scratch lives
+// in a pool rather than on the operator: LayerTime runs once per
+// scheduling iteration and two heap slices per call was a measurable
+// slice-growth and GC tax on million-request stress runs.
+type segScratch struct {
+	shrink, expand, combined []simgpu.Segment
+}
+
+var segPool = sync.Pool{New: func() any { return new(segScratch) }}
+
 // segmentsFor builds the fused-kernel segments of one layer's LoRA
-// computation: per adapter group, a shrink GEMM (tokens×dim)·(dim×r)
-// and an expand GEMM (tokens×r)·(r×dim), replicated across the layer's
-// LoRA-carrying projections.
-func segmentsFor(b Batch) (shrink, expand []simgpu.Segment) {
+// computation into sc: per adapter group, a shrink GEMM
+// (tokens×dim)·(dim×r) and an expand GEMM (tokens×r)·(r×dim),
+// replicated across the layer's LoRA-carrying projections. The
+// returned slices alias sc and are valid until sc is pooled again;
+// the GPU cost model does not retain them.
+func segmentsFor(b Batch, sc *segScratch) (shrink, expand []simgpu.Segment) {
+	shrink, expand = sc.shrink[:0], sc.expand[:0]
 	for _, g := range b.Groups {
 		shrink = append(shrink, simgpu.Segment{
 			Shape: simgpu.Shape{M: g.Tokens, K: b.Dim, N: g.Rank},
@@ -22,6 +38,7 @@ func segmentsFor(b Batch) (shrink, expand []simgpu.Segment) {
 			Count: b.Projections,
 		})
 	}
+	sc.shrink, sc.expand = shrink, expand
 	return shrink, expand
 }
 
@@ -60,7 +77,9 @@ func (a *ATMM) LayerTime(b Batch) (time.Duration, error) {
 	if err := b.Validate(); err != nil {
 		return 0, err
 	}
-	shrink, expand := segmentsFor(b)
+	sc := segPool.Get().(*segScratch)
+	defer segPool.Put(sc)
+	shrink, expand := segmentsFor(b, sc)
 	total := b.TotalTokens()
 
 	shrinkCfg, _ := a.Table.Lookup(simgpu.Shape{M: total, K: b.Dim, N: b.MaxRank()}, simgpu.TensorCore)
@@ -132,7 +151,9 @@ func (p *Punica) LayerTime(b Batch) (time.Duration, error) {
 	if err := b.Validate(); err != nil {
 		return 0, err
 	}
-	shrink, expand := segmentsFor(b)
+	sc := segPool.Get().(*segScratch)
+	defer segPool.Put(sc)
+	shrink, expand := segmentsFor(b, sc)
 	cfg := punicaConfig()
 	ts, err := p.GPU.BatchGEMMTime(shrink, cfg, simgpu.TensorCore)
 	if err != nil {
@@ -169,8 +190,11 @@ func (s *SLoRA) LayerTime(b Batch) (time.Duration, error) {
 	// S-LoRA's kernel fuses shrink, expand and the output addition
 	// into a single launch per layer, which is what keeps its decode
 	// latency near-optimal despite running on CUDA cores.
-	shrink, expand := segmentsFor(b)
-	combined := append(shrink, expand...)
+	sc := segPool.Get().(*segScratch)
+	defer segPool.Put(sc)
+	shrink, expand := segmentsFor(b, sc)
+	combined := append(append(sc.combined[:0], shrink...), expand...)
+	sc.combined = combined
 	t, err := s.GPU.BatchGEMMTime(combined, sloraConfig(), simgpu.CUDACore)
 	if err != nil {
 		return 0, err

@@ -75,6 +75,10 @@ type Suite struct {
 	// BENCH_*.json perf trajectories) write; empty means the current
 	// directory.
 	OutDir string
+	// Shards, when positive, is added to the stress experiment's
+	// shard sweep (if absent) and overrides the headline run's shard
+	// count — the -shards flag of valora-bench.
+	Shards int
 }
 
 // NewSuite builds a suite on an A100 with the default seed.

@@ -58,13 +58,15 @@ func TestMultiTenantQuick(t *testing.T) {
 		t.Fatalf("modes incomplete: %v", modes)
 	}
 
-	// Stress records must coexist in the same trajectory file.
+	// Stress records must coexist in the same trajectory file: 3
+	// tenant modes plus one stress record per quick sweep point
+	// (sequential + 4 shards).
 	if _, err := s.MillionRequests(); err != nil {
 		t.Fatal(err)
 	}
 	data, _ = os.ReadFile(filepath.Join(s.OutDir, BenchServingFile))
 	records = nil
-	if err := json.Unmarshal(data, &records); err != nil || len(records) != 4 {
-		t.Fatalf("mixed trajectory should hold 4 records: len=%d err=%v", len(records), err)
+	if err := json.Unmarshal(data, &records); err != nil || len(records) != 5 {
+		t.Fatalf("mixed trajectory should hold 5 records: len=%d err=%v", len(records), err)
 	}
 }

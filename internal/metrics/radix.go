@@ -1,0 +1,71 @@
+package metrics
+
+import "math"
+
+// radixSortThreshold is the retained-sample count above which
+// ensureSorted switches from the comparison sort to the LSD radix sort
+// below. Million-sample stress percentiles dominate report drain time
+// under a comparison sort; the radix path sorts them roughly an order
+// of magnitude faster. Small streams keep the in-place comparison sort
+// (the radix pass needs two n-word scratch buffers and a 64K counting
+// table, which only pays for itself in bulk).
+const radixSortThreshold = 1 << 12
+
+// orderedKey maps a float64 onto a uint64 whose unsigned order matches
+// the IEEE-754 total order: negatives flip every bit (reversing their
+// magnitude order), non-negatives flip only the sign bit (placing them
+// above all negatives). NaNs land at the extremes of the key space —
+// a total-order refinement of the < comparison sort.Float64s uses,
+// identical on the NaN-free sample sets streams record.
+func orderedKey(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b>>63 == 1 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// keyToFloat inverts orderedKey.
+func keyToFloat(k uint64) float64 {
+	if k>>63 == 1 {
+		return math.Float64frombits(k &^ (1 << 63))
+	}
+	return math.Float64frombits(^k)
+}
+
+// radixSortFloat64 sorts xs ascending with a 4-pass LSD radix sort
+// over 16-bit digits of the order-preserving key. Passes whose digit
+// is constant across the whole slice (common for latency samples,
+// whose exponents span a narrow band) are skipped.
+func radixSortFloat64(xs []float64) {
+	n := len(xs)
+	keys := make([]uint64, n)
+	buf := make([]uint64, n)
+	for i, f := range xs {
+		keys[i] = orderedKey(f)
+	}
+	var count [1 << 16]int
+	for shift := uint(0); shift < 64; shift += 16 {
+		clear(count[:])
+		for _, k := range keys {
+			count[(k>>shift)&0xFFFF]++
+		}
+		if count[(keys[0]>>shift)&0xFFFF] == n {
+			continue // digit constant: pass is the identity
+		}
+		sum := 0
+		for i, c := range count {
+			count[i] = sum
+			sum += c
+		}
+		for _, k := range keys {
+			d := (k >> shift) & 0xFFFF
+			buf[count[d]] = k
+			count[d]++
+		}
+		keys, buf = buf, keys
+	}
+	for i, k := range keys {
+		xs[i] = keyToFloat(k)
+	}
+}

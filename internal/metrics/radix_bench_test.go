@@ -1,0 +1,36 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func benchInput(n int) []float64 {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 1000
+	}
+	return xs
+}
+
+func BenchmarkRadixSort1M(b *testing.B) {
+	src := benchInput(1 << 20)
+	dst := make([]float64, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(dst, src)
+		radixSortFloat64(dst)
+	}
+}
+
+func BenchmarkStdSort1M(b *testing.B) {
+	src := benchInput(1 << 20)
+	dst := make([]float64, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(dst, src)
+		sort.Float64s(dst)
+	}
+}

@@ -66,6 +66,12 @@ func (s *Stream) Add(v float64) {
 	}
 	if s.cap > 0 {
 		if len(s.samples) < s.cap {
+			if s.samples == nil {
+				// Reservoir streams almost always fill: allocate the
+				// full window once instead of paying log2(cap)
+				// growslice copies on the hot Add path.
+				s.samples = make([]float64, 0, s.cap)
+			}
 			s.samples = append(s.samples, v)
 		} else if j := s.rng.Intn(s.seen); j < s.cap {
 			s.samples[j] = v
@@ -168,6 +174,38 @@ func (s *Stream) StdDev() float64 {
 // retained subset — exact whenever other never overflowed).
 func (s *Stream) Merge(other *Stream) {
 	wasEmpty := s.seen == 0
+	if s.cap == 0 && (s.sorted || len(s.samples) == 0) && (other.sorted || len(other.samples) == 0) {
+		// Both sides already sorted (the cluster aggregate merges
+		// per-instance streams their own Summarize sorted): a linear
+		// merge keeps the result sorted, so the aggregate's Summarize
+		// never pays a full re-sort over the union.
+		merged := make([]float64, 0, len(s.samples)+len(other.samples))
+		i, j := 0, 0
+		for i < len(s.samples) && j < len(other.samples) {
+			if s.samples[i] <= other.samples[j] {
+				merged = append(merged, s.samples[i])
+				i++
+			} else {
+				merged = append(merged, other.samples[j])
+				j++
+			}
+		}
+		merged = append(merged, s.samples[i:]...)
+		merged = append(merged, other.samples[j:]...)
+		s.samples = merged
+		s.seen += other.seen
+		if other.seen > 0 {
+			if wasEmpty || other.minV < s.minV {
+				s.minV = other.minV
+			}
+			if wasEmpty || other.maxV > s.maxV {
+				s.maxV = other.maxV
+			}
+		}
+		s.sum += other.sum
+		s.sorted = true
+		return
+	}
 	if s.cap > 0 {
 		for _, v := range other.samples {
 			if len(s.samples) < s.cap {
@@ -180,6 +218,11 @@ func (s *Stream) Merge(other *Stream) {
 		// Count what other actually saw, not just what it retained.
 		s.seen += other.seen - len(other.samples)
 	} else {
+		if free := cap(s.samples) - len(s.samples); free < len(other.samples) {
+			grown := make([]float64, len(s.samples), len(s.samples)+len(other.samples))
+			copy(grown, s.samples)
+			s.samples = grown
+		}
 		s.samples = append(s.samples, other.samples...)
 		s.seen += other.seen
 	}
@@ -206,10 +249,15 @@ func (s *Stream) Reset() {
 }
 
 func (s *Stream) ensureSorted() {
-	if !s.sorted {
-		sort.Float64s(s.samples)
-		s.sorted = true
+	if s.sorted {
+		return
 	}
+	if len(s.samples) >= radixSortThreshold {
+		radixSortFloat64(s.samples)
+	} else {
+		sort.Float64s(s.samples)
+	}
+	s.sorted = true
 }
 
 // Summary is a compact snapshot of a stream, convenient for report

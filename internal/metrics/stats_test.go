@@ -3,6 +3,8 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"slices"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -187,5 +189,64 @@ func TestHistogramTotalEqualsCount(t *testing.T) {
 	}
 	if total != n || h.Count() != n {
 		t.Fatalf("bucket total %d, count %d, want %d", total, h.Count(), n)
+	}
+}
+
+// TestRadixSortMatchesComparisonSort drives the bulk-sort path against
+// sort.Float64s over adversarial magnitudes: negatives, zeros,
+// infinities, denormals and a wide exponent spread.
+func TestRadixSortMatchesComparisonSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	xs := make([]float64, radixSortThreshold+1234)
+	for i := range xs {
+		switch i % 7 {
+		case 0:
+			xs[i] = -rng.ExpFloat64() * 1e6
+		case 1:
+			xs[i] = 0
+		case 2:
+			xs[i] = math.Inf(1)
+		case 3:
+			xs[i] = math.Inf(-1)
+		case 4:
+			xs[i] = rng.Float64() * 1e-300
+		default:
+			xs[i] = rng.NormFloat64() * 1e3
+		}
+	}
+	want := append([]float64(nil), xs...)
+	sort.Float64s(want)
+	radixSortFloat64(xs)
+	if !slices.Equal(xs, want) {
+		t.Fatal("radix sort diverges from comparison sort")
+	}
+
+	// A narrow-band slice (constant high digits) exercises the
+	// skipped-pass fast path.
+	ys := make([]float64, radixSortThreshold)
+	for i := range ys {
+		ys[i] = 100 + rng.Float64()
+	}
+	want = append(want[:0], ys...)
+	sort.Float64s(want)
+	radixSortFloat64(ys)
+	if !slices.Equal(ys, want) {
+		t.Fatal("radix sort diverges on narrow-band input")
+	}
+}
+
+// TestPercentileAboveRadixThreshold pins that percentile queries are
+// unchanged by the sorting strategy switch.
+func TestPercentileAboveRadixThreshold(t *testing.T) {
+	s := NewStream()
+	n := radixSortThreshold * 2
+	for i := n; i > 0; i-- {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(50); math.Abs(got-float64(n)/2-0.5) > 1e-9 {
+		t.Fatalf("median over radix path: got %v", got)
+	}
+	if got := s.Percentile(100); got != float64(n) {
+		t.Fatalf("max over radix path: got %v", got)
 	}
 }

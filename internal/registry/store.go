@@ -2,6 +2,7 @@ package registry
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"valora/internal/sim"
@@ -161,10 +162,14 @@ type hostEntry struct {
 // Store is the tiered adapter distribution state: the bounded host
 // cache plus the remote-link fetch model. One Store models one
 // deployment's host DRAM (a multi-GPU node shares it across serving
-// instances); all times are virtual (sim) times. The store is not
-// safe for concurrent use — serving runs are single-goroutine
-// discrete-event simulations.
+// instances); all times are virtual (sim) times. The exported methods
+// are safe for concurrent use (shard worker goroutines may share a
+// store), but note that the sharded cluster engine still serializes
+// store-backed runs: the link model's fetch order is observable, so
+// only a global sequential order reproduces it bit-identically —
+// the mutex guards state integrity, not event ordering.
 type Store struct {
+	mu     sync.Mutex
 	cfg    Config
 	cat    *Catalog
 	quotas map[string]TenantQuota
@@ -214,6 +219,8 @@ func (s *Store) Catalog() *Catalog { return s.cat }
 // that fraction starve the floating LRU pool and regress exactly the
 // cold-start tail they exist to protect.
 func (s *Store) SetQuota(tenant string, q TenantQuota) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if cap := s.cfg.pinCap(); cap >= 0 && q.GuaranteedBytes > 0 {
 		var total int64
 		for t, other := range s.quotas {
@@ -231,18 +238,32 @@ func (s *Store) SetQuota(tenant string, q TenantQuota) error {
 }
 
 // Stats returns a copy of the cumulative counters.
-func (s *Store) Stats() Stats { return s.stats }
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
 // HostUsed reports resident host bytes.
-func (s *Store) HostUsed() int64 { return s.used }
+func (s *Store) HostUsed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
 
 // InflightFetches reports the number of fetches on the link.
-func (s *Store) InflightFetches() int { return len(s.inflight) }
+func (s *Store) InflightFetches() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inflight)
+}
 
 // NextFetchDone reports the earliest in-flight fetch completion, or
 // sim.Never when the link is idle. Blocked instances use it to jump
 // their clocks to the moment new residency appears.
 func (s *Store) NextFetchDone() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.inflight) == 0 {
 		return sim.Never
 	}
@@ -253,6 +274,14 @@ func (s *Store) NextFetchDone() time.Duration {
 // interleave on a shared timeline, so Advance is monotonic: a call
 // with an older now than a previous call is a no-op.
 func (s *Store) Advance(now time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advance(now)
+}
+
+// advance is Advance without the lock, for the exported entry points
+// that already hold it.
+func (s *Store) advance(now time.Duration) {
 	if now < s.advanced {
 		return
 	}
@@ -312,7 +341,9 @@ func (s *Store) pinIfFree(e *hostEntry) {
 // at now, without touching LRU order or stats (the admission stage
 // uses it to stamp cold-start arrivals).
 func (s *Store) HostResident(id int, now time.Duration) bool {
-	s.Advance(now)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advance(now)
 	ent, ok := s.cat.Resolve(id)
 	if !ok {
 		return true // uncatalogued adapters are host-resident by definition
@@ -328,7 +359,9 @@ func (s *Store) HostResident(id int, now time.Duration) bool {
 // room. eta is the fetch completion time for StatusFetching and
 // StatusStarted.
 func (s *Store) Ensure(id int, now time.Duration) (st Status, eta time.Duration) {
-	s.Advance(now)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advance(now)
 	ent, ok := s.cat.Resolve(id)
 	if !ok {
 		return StatusUncatalogued, 0
@@ -369,7 +402,9 @@ func (s *Store) Ensure(id int, now time.Duration) (st Status, eta time.Duration)
 // started reports whether this call put a new fetch on the link; eta
 // is its completion time.
 func (s *Store) Prefetch(id int, now time.Duration) (eta time.Duration, started bool) {
-	s.Advance(now)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advance(now)
 	ent, ok := s.cat.Resolve(id)
 	if !ok {
 		return 0, false
@@ -596,6 +631,8 @@ func (s *Store) listTouch(e *hostEntry) {
 // in-flight fetches are completion-sorted. Tests call it after every
 // mutation.
 func (s *Store) CheckInvariants() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var residentBytes int64
 	residentCount := 0
 	pinned := make(map[string]int64)

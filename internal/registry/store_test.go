@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -258,5 +259,47 @@ func TestUncataloguedBypasses(t *testing.T) {
 	}
 	if !s.HostResident(99, 0) {
 		t.Fatal("uncatalogued adapters are host-resident by definition")
+	}
+}
+
+// TestStoreConcurrentAccess hammers the exported surface from several
+// goroutines (as shard workers sharing a store would) and then checks
+// the invariants still hold. Run under -race this is the shard-safety
+// gate for the link model; determinism of fetch *ordering* is the
+// serving planner's job, not the mutex's.
+func TestStoreConcurrentAccess(t *testing.T) {
+	adapters, cat := testAdapters(16, "a", "b")
+	ab := adapters[0].Bytes()
+	s := NewStore(Config{HostCapacity: 6 * ab, RemoteLatency: time.Millisecond, RemoteBandwidth: 1e9}, cat)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			now := time.Duration(0)
+			for i := 0; i < 400; i++ {
+				id := (g*7 + i) % 16
+				switch i % 4 {
+				case 0:
+					s.Ensure(id, now)
+				case 1:
+					s.Prefetch(id, now)
+				case 2:
+					s.HostResident(id, now)
+				default:
+					s.Advance(now)
+					s.NextFetchDone()
+					s.Stats()
+					s.HostUsed()
+					s.InflightFetches()
+				}
+				now += time.Duration(i%5) * 100 * time.Microsecond
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -148,6 +148,30 @@ func (r *Request) Slack(now time.Duration) time.Duration {
 	return r.Arrival + r.Deadline - now
 }
 
+// ResetRuntime clears every field the serving layer mutates during a
+// run, returning the request to its as-generated state so one trace
+// can be replayed repeatedly (median-of-N wall-clock benchmarking of
+// identical virtual runs without regenerating — and re-allocating —
+// multi-million-request traces). Identity and workload shape (ID,
+// adapter, tokens, arrival, deadline, tenant) are untouched.
+func (r *Request) ResetRuntime() {
+	r.PreemptCount = 0
+	r.Unpreemptable = false
+	r.Phase = PhaseQueued
+	r.PrefillDone = false
+	r.ColdStart = false
+	r.ColdStamped = false
+	r.SharedTokens = 0
+	r.Emitted = 0
+	r.FirstSchedule = 0
+	r.LastSchedule = 0
+	r.FirstToken = 0
+	r.Finish = 0
+	r.scheduledOnce = false
+	r.batchEpoch = 0
+	r.evictEpoch = 0
+}
+
 // ClearScratchMarks zeroes the policy's per-epoch scratch marks. The
 // marks are meaningful only relative to one policy's epoch counter
 // ("requests live on exactly one server"), so the serving layer calls

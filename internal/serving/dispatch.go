@@ -16,12 +16,29 @@ type DispatchPolicy interface {
 	Pick(r *sched.Request, servers []*Server) int
 }
 
+// StatelessDispatch marks policies whose Pick depends only on the
+// request sequence — never on live server state (InFlight, instance
+// IDs). The sharded cluster engine exploits the marker: a stateless
+// policy's routing can be precomputed from the trace alone, so the
+// per-server request streams are known up front and shards run
+// barrier-free (Cluster.RunSharded's partitioned fast path). A policy
+// that reads any server state must not implement it.
+type StatelessDispatch interface {
+	DispatchPolicy
+	// StatelessDispatch is a marker method (never called).
+	StatelessDispatch()
+}
+
 // RoundRobin cycles through instances in arrival order — the
 // adapter-oblivious baseline (the sharded replay the cluster used
 // before the shared timeline).
 type RoundRobin struct {
 	next int
 }
+
+// StatelessDispatch marks round-robin as precomputable: Pick reads
+// only the internal cycle counter, never the servers.
+func (p *RoundRobin) StatelessDispatch() {}
 
 // NewRoundRobin builds a round-robin dispatcher.
 func NewRoundRobin() *RoundRobin { return &RoundRobin{} }

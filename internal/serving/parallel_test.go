@@ -1,0 +1,242 @@
+package serving
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"valora/internal/lmm"
+	"valora/internal/lora"
+	"valora/internal/registry"
+	"valora/internal/sched"
+	"valora/internal/simgpu"
+	"valora/internal/workload"
+)
+
+// The sharded engine's acceptance gate: for every configuration,
+// RunSharded is bit-identical to Run — reflect.DeepEqual on the whole
+// Report, not a tolerance check — across shard counts, seeds, dispatch
+// policies, and the managed path. Traces are regenerated per run
+// (requests mutate in place) and clusters are rebuilt per run
+// (dispatch policies carry state).
+
+var shardCounts = []int{1, 2, 4, 8}
+
+func checkReportIdentical(t *testing.T, want, got *Report, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s: sharded report diverges from sequential\nsequential: %+v\nsharded:    %+v", label, want, got)
+	}
+}
+
+// TestShardedUnmanagedBitIdentical covers both unmanaged modes: the
+// partitioned fast path (round-robin, stateless) and the epoch-barrier
+// path (policies that read live instance state).
+func TestShardedUnmanagedBitIdentical(t *testing.T) {
+	model := lmm.QwenVL7B()
+	policies := []struct {
+		name string
+		mk   func() DispatchPolicy
+	}{
+		{"round-robin", func() DispatchPolicy { return NewRoundRobin() }},
+		{"least-loaded", func() DispatchPolicy { return NewLeastLoaded() }},
+		{"adapter-affinity", func() DispatchPolicy { return NewAdapterAffinity() }},
+		{"tenant-affinity", func() DispatchPolicy { return NewTenantAffinity(nil) }},
+	}
+	for _, pol := range policies {
+		for _, seed := range []int64{7, 51} {
+			run := func(shards int) *Report {
+				cl, err := NewClusterWithDispatch(4, pol.mk(), swapConstrained(model))
+				if err != nil {
+					t.Fatal(err)
+				}
+				trace := skewedSwapTrace(seed)
+				var rep *Report
+				if shards == 0 {
+					rep, err = cl.Run(trace)
+				} else {
+					rep, err = cl.RunSharded(trace, shards)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			want := run(0)
+			for _, shards := range shardCounts {
+				got := run(shards)
+				checkReportIdentical(t, want, got,
+					fmt.Sprintf("%s/seed=%d/shards=%d", pol.name, seed, shards))
+			}
+		}
+	}
+}
+
+// TestShardedManagedBitIdentical exercises the mixed epoch/global-order
+// managed runner (admission, fair-share and FIFO queueing, deadline
+// shedding, backpressure) against the sequential engine.
+func TestShardedManagedBitIdentical(t *testing.T) {
+	for _, fair := range []bool{true, false} {
+		for _, seed := range []int64{11, 42} {
+			run := func(shards int) *Report {
+				cfg := SchedulingConfig{
+					Tenants:   tenantClasses(),
+					FairShare: fair,
+					HighWater: 4,
+				}
+				cl, err := NewManagedCluster(2, NewLeastLoaded(), cfg, managedBuild(t))
+				if err != nil {
+					t.Fatal(err)
+				}
+				trace := workload.GenMultiTenant(workload.DefaultMultiTenant(6*time.Second, 3, seed))
+				var rep *Report
+				if shards == 0 {
+					rep, err = cl.Run(trace)
+				} else {
+					rep, err = cl.RunSharded(trace, shards)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			want := run(0)
+			if want.Shed == 0 {
+				t.Fatalf("fair=%v seed=%d: workload never exercises admission shedding", fair, seed)
+			}
+			for _, shards := range shardCounts {
+				got := run(shards)
+				checkReportIdentical(t, want, got, "managed")
+			}
+		}
+	}
+}
+
+// TestShardedCoupledConfigsDelegate pins the planner's conservative
+// side: preemption, autoscaling and the shared registry store make
+// every instance step a potential coupling point, so RunSharded must
+// classify them sequential and still return bit-identical reports.
+func TestShardedCoupledConfigsDelegate(t *testing.T) {
+	model := lmm.QwenVL7B()
+	adapters := lora.MakeUniformAdapters(model, 16, model.DefaultRank)
+	ab := adapters[0].Bytes()
+
+	cases := []struct {
+		name  string
+		build func() (*Cluster, workload.Trace)
+	}{
+		{"preemption", func() (*Cluster, workload.Trace) {
+			return preemptCluster(t, 2), adversarialTrace(9, 600)
+		}},
+		{"autoscale", func() (*Cluster, workload.Trace) {
+			as := &AutoscaleConfig{Min: 1, Max: 4, HighDepth: 32, LowDepth: 4, Cooldown: time.Second}
+			cfg := SchedulingConfig{Tenants: tenantClasses(), FairShare: true, HighWater: 8, Autoscale: as}
+			cl, err := NewManagedCluster(1, NewLeastLoaded(), cfg, managedBuild(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cl, workload.GenMultiTenant(workload.DefaultMultiTenant(6*time.Second, 1, 42))
+		}},
+		{"registry-store", func() (*Cluster, workload.Trace) {
+			store := registry.NewStore(registry.Config{
+				HostCapacity:    10 * ab,
+				RemoteLatency:   5 * time.Millisecond,
+				RemoteBandwidth: 2.5e9,
+			}, registry.CatalogFromAdapters(adapters, nil))
+			build := func(int) (Options, error) {
+				opts, err := SystemOptions(SystemVaLoRA, simgpu.A100(), model)
+				if err != nil {
+					return Options{}, err
+				}
+				opts.Registry = lora.NewRegistry(adapters...)
+				opts.AdapterPoolBytes = 4 * ab
+				opts.Store = store
+				return opts, nil
+			}
+			cfg := SchedulingConfig{
+				Tenants:           []sched.TenantConfig{{Name: "t", Weight: 1}},
+				FairShare:         true,
+				HighWater:         3,
+				Store:             store,
+				PrefetchLookahead: 4,
+			}
+			cl, err := NewManagedCluster(2, NewLeastLoaded(), cfg, build)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trace := workload.GenMultiTenant(workload.MultiTenantConfig{
+				Duration: 10 * time.Second,
+				Seed:     21,
+				Tenants: []workload.TenantTraffic{{
+					Tenant: "t", Rate: 50,
+					NumAdapters: 16, Skew: 0.6, HotSetDriftEvery: 3 * time.Second,
+					MinInputTokens: 32, MaxInputTokens: 64, MaxOutputTokens: 2,
+				}},
+			})
+			workload.MarkColdCandidates(trace, 2*time.Second)
+			return cl, trace
+		}},
+	}
+	for _, tc := range cases {
+		cl, _ := tc.build()
+		if mode := cl.planShards(); mode != shardSequential {
+			t.Fatalf("%s: planner classified mode %d, want sequential delegation", tc.name, mode)
+		}
+		seq, trace := tc.build()
+		want, err := seq.Run(trace)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", tc.name, err)
+		}
+		for _, shards := range []int{1, 4} {
+			sh, trace := tc.build()
+			got, err := sh.RunSharded(trace, shards)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", tc.name, shards, err)
+			}
+			checkReportIdentical(t, want, got, tc.name)
+		}
+	}
+}
+
+// TestShardPlannerModes pins each configuration to its planned mode.
+func TestShardPlannerModes(t *testing.T) {
+	model := lmm.QwenVL7B()
+	unmanaged := func(d DispatchPolicy) *Cluster {
+		cl, err := NewClusterWithDispatch(2, d, swapConstrained(model))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	if got := unmanaged(NewRoundRobin()).planShards(); got != shardPartitioned {
+		t.Fatalf("round-robin: mode %d, want partitioned", got)
+	}
+	if got := unmanaged(NewLeastLoaded()).planShards(); got != shardEpoch {
+		t.Fatalf("least-loaded: mode %d, want epoch", got)
+	}
+	cfg := SchedulingConfig{Tenants: tenantClasses(), FairShare: true, HighWater: 8}
+	cl, err := NewManagedCluster(2, NewRoundRobin(), cfg, managedBuild(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.planShards(); got != shardManaged {
+		t.Fatalf("managed plain: mode %d, want managed", got)
+	}
+}
+
+// TestRunShardedValidation covers argument handling: zero shards is an
+// error; shard counts beyond the fleet clamp instead of failing.
+func TestRunShardedValidation(t *testing.T) {
+	model := lmm.QwenVL7B()
+	cl, err := NewClusterWithDispatch(2, NewRoundRobin(), swapConstrained(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.RunSharded(skewedSwapTrace(3), 0); err == nil {
+		t.Fatal("shards=0 must fail")
+	}
+	if _, err := cl.RunSharded(skewedSwapTrace(3), 64); err != nil {
+		t.Fatalf("oversized shard count should clamp, got %v", err)
+	}
+}

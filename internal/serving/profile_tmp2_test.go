@@ -1,0 +1,47 @@
+package serving
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"valora/internal/lmm"
+	"valora/internal/simgpu"
+	"valora/internal/workload"
+)
+
+func TestTimingTmp(t *testing.T) {
+	if os.Getenv("PROF") == "" {
+		t.Skip("timing harness")
+	}
+	build := func() *Cluster {
+		cl, err := NewClusterWithDispatch(4, NewRoundRobin(), func(int) (Options, error) {
+			opts, err := SystemOptions(SystemVaLoRA, simgpu.A100(), lmm.QwenVL7B())
+			if err != nil {
+				return Options{}, err
+			}
+			opts.LatencySampleCap = 1 << 20
+			return opts, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	trace := workload.GenStress(workload.DefaultStress(1_000_000, 42))
+	for _, shards := range []int{0, 4, 0, 4} {
+		trace.ResetRuntime()
+		cl := build()
+		start := time.Now()
+		var err error
+		if shards == 0 {
+			_, err = cl.Run(trace)
+		} else {
+			_, err = cl.RunSharded(trace, shards)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("shards=%d wall=%.3fs", shards, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,31 @@
+package serving
+
+import (
+	"os"
+	"testing"
+
+	"valora/internal/lmm"
+	"valora/internal/simgpu"
+	"valora/internal/workload"
+)
+
+func TestProfileSeqTmp(t *testing.T) {
+	if os.Getenv("PROF") == "" {
+		t.Skip("profiling harness")
+	}
+	trace := workload.GenStress(workload.DefaultStress(1_000_000, 42))
+	cl, err := NewClusterWithDispatch(4, NewRoundRobin(), func(int) (Options, error) {
+		opts, err := SystemOptions(SystemVaLoRA, simgpu.A100(), lmm.QwenVL7B())
+		if err != nil {
+			return Options{}, err
+		}
+		opts.LatencySampleCap = 1 << 20
+		return opts, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Run(trace); err != nil {
+		t.Fatal(err)
+	}
+}

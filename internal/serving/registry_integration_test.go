@@ -73,6 +73,37 @@ func TestServerColdStartThroughTiers(t *testing.T) {
 	}
 }
 
+// TestDemandFetchCountsOneMissNoPhantomHit is the regression test for
+// the host-hit-on-retry inflation bug: a demand fetch books one host
+// miss when it starts, and the retry that lands once the fetch
+// completes must NOT book a host hit — one demand, one outcome. Before
+// the awaitingFetch fix every cold adapter counted both a miss and a
+// hit, inflating HostHitRate asymmetrically.
+func TestDemandFetchCountsOneMissNoPhantomHit(t *testing.T) {
+	srv, store, adapters := registryFixture(t, 2, 2)
+	trace := workload.Trace{{
+		ID: 1, AdapterID: adapters[0].ID,
+		InputTokens: 32, OutputTokens: 4, Arrival: 0,
+	}}
+	rep, err := srv.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 1 {
+		t.Fatalf("completed %d of 1", rep.Completed)
+	}
+	if rep.HostMisses != 1 || rep.RemoteFetches != 1 {
+		t.Fatalf("one cold demand must book exactly one miss/fetch: misses=%d fetches=%d",
+			rep.HostMisses, rep.RemoteFetches)
+	}
+	if rep.HostHits != 0 {
+		t.Fatalf("the fetch landing must not count as a host hit, got %d", rep.HostHits)
+	}
+	if err := store.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestServerHostCachePressure keeps the host tier smaller than the
 // adapter universe: evictions must occur, the engine must not
 // deadlock, and the tier accounting must stay within capacity.

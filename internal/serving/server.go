@@ -187,8 +187,20 @@ type Server struct {
 	scratchFetching    map[int]bool
 	scratchGroupTokens map[int]int
 	scratchGroups      []lora.TokenGroup
+	// scratchAdmit backs the admitted-batch slice admit returns; the
+	// result is consumed within the same Step, never retained.
+	scratchAdmit []*sched.Request
 	// synth memoizes registry-less adapter descriptors (see adapterOf).
 	synth map[int]*lora.Adapter
+
+	// awaitingFetch marks adapters whose demand already experienced a
+	// host miss on this instance (fetch started, queue-denied, or
+	// riding another demand's in-flight fetch). When the fetch lands,
+	// the retry's Ensure reports StatusHit — that landing is the
+	// resolution of the recorded miss, not a fresh host hit, so
+	// resolveTiered must not count it (see the HostHitRate inflation
+	// bug this replaces).
+	awaitingFetch map[int]bool
 }
 
 // maxCapacityStalls bounds consecutive zero-progress scheduling rounds
@@ -261,6 +273,7 @@ func NewServer(opts Options) (*Server, error) {
 		scratchFetching:    make(map[int]bool),
 		scratchGroupTokens: make(map[int]int),
 		synth:              make(map[int]*lora.Adapter),
+		awaitingFetch:      make(map[int]bool),
 	}
 	s.report = &Report{
 		System:         opts.Name,
@@ -577,12 +590,20 @@ func (s *Server) resolveTiered(id int) *lora.Adapter {
 	}
 	if s.pool.Resident(id) {
 		s.report.GPUTierHits++
+		delete(s.awaitingFetch, id) // resident via another path; flag is stale
 		return a
 	}
 	s.report.GPUTierMisses++
 	st, _ := s.opts.Store.Ensure(id, s.clock.Now())
 	switch st {
 	case registry.StatusHit:
+		if s.awaitingFetch[id] {
+			// The fetch recorded as this demand's host miss just
+			// landed; counting its arrival as a host hit would book
+			// both a miss and a hit for one demand.
+			delete(s.awaitingFetch, id)
+			return a
+		}
 		s.report.HostHits++
 		return a
 	case registry.StatusUncatalogued:
@@ -591,12 +612,15 @@ func (s *Server) resolveTiered(id int) *lora.Adapter {
 		s.report.HostMisses++
 		s.report.RemoteFetches++
 		s.report.FetchBytes += a.Bytes()
+		s.awaitingFetch[id] = true
 		return nil
 	case registry.StatusDenied:
 		// Fetch-queue backpressure: the demand retries next round
 		// without counting a fresh miss per retry.
+		s.awaitingFetch[id] = true
 		return nil
 	default: // StatusFetching: counted when the fetch started
+		s.awaitingFetch[id] = true
 		return nil
 	}
 }
@@ -740,7 +764,7 @@ func (s *Server) sweepActive() {
 // entering prefill. A preempted request re-prefills its prompt plus
 // the tokens it already emitted (recompute-style preemption).
 func (s *Server) admit(batch []*sched.Request) []*sched.Request {
-	out := batch[:0:0]
+	out := s.scratchAdmit[:0]
 	for _, r := range batch {
 		if r.PrefillDone {
 			out = append(out, r)
@@ -779,6 +803,7 @@ func (s *Server) admit(batch []*sched.Request) []*sched.Request {
 		r.SharedTokens = shared
 		out = append(out, r)
 	}
+	s.scratchAdmit = out
 	return out
 }
 

@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the parallel counterpart of Timeline: a cluster's
+// processes are partitioned into shards, each advanced on its own
+// goroutine, synchronized only at epoch barriers. The engine is
+// conservative (in the parallel-discrete-event sense): a shard never
+// advances past the horizon its coordinator proved free of incoming
+// cross-shard events, so a sharded run's observable order is exactly
+// the sequential Timeline's — outputs are bit-identical, shard count
+// only changes wall-clock time.
+//
+// Three primitives compose the engine:
+//
+//   - Feed: a time-ordered private input stream for one process
+//     (pre-routed request arrivals). Deliveries obey Timeline's
+//     event-before-step tie rule.
+//   - Shard: a group of mutually independent processes advanced by one
+//     goroutine up to a horizon, with an outbox for events that must
+//     cross shards (drained and merged at barriers).
+//   - ShardGroup: the barrier. AdvanceAll moves every shard to a
+//     common horizon in parallel and returns once all are quiesced;
+//     between calls the coordinator owns all shard state.
+
+// Feed is a time-ordered private input stream for one process: the
+// sharded engine delivers each item when the process's progress
+// reaches the item's timestamp, replicating the Timeline rule that an
+// external event at t runs before any process step scheduled at or
+// after t.
+type Feed interface {
+	// NextAt reports the delivery time of the head item, or Never when
+	// the feed is exhausted.
+	NextAt() time.Duration
+	// Deliver hands the head item to its process and advances the
+	// feed. It must not be called when NextAt is Never.
+	Deliver() error
+}
+
+// Mail is one buffered cross-shard event: a payload stamped with the
+// virtual time it occurred at, the shard that emitted it and a
+// per-shard sequence number. (At, Shard, Seq) is the canonical merge
+// order: merging every shard's outbox under it yields one
+// deterministic global stream regardless of how the shards' goroutines
+// interleaved in wall-clock time.
+type Mail struct {
+	At      time.Duration
+	Shard   int
+	Seq     int
+	Payload any
+}
+
+// Mailbox buffers Mail emitted by one shard between barriers. It is
+// not safe for concurrent use: exactly one goroutine (the shard's
+// worker inside AdvanceTo, or the coordinator while the group is
+// quiesced) may touch it at a time — the barrier is the hand-off.
+type Mailbox struct {
+	shard int
+	seq   int
+	mail  []Mail
+}
+
+// Emit buffers a payload stamped at virtual time at.
+func (b *Mailbox) Emit(at time.Duration, payload any) {
+	b.seq++
+	b.mail = append(b.mail, Mail{At: at, Shard: b.shard, Seq: b.seq, Payload: payload})
+}
+
+// Len reports the number of buffered items.
+func (b *Mailbox) Len() int { return len(b.mail) }
+
+// Drain returns the buffered mail sorted by (At, Seq) and empties the
+// box. Emission may run out of time order (a process can emit for a
+// virtual time earlier than a previous emission from a later-stepped
+// process), so Drain sorts; the sort is stable in Seq, preserving
+// emission order at equal timestamps.
+func (b *Mailbox) Drain() []Mail {
+	out := b.mail
+	b.mail = nil
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// MergeMail merges per-shard mail streams (each already in (At, Seq)
+// order, as Drain returns them) into one stream in the canonical
+// (At, Shard, Seq) order.
+func MergeMail(streams ...[]Mail) []Mail {
+	var out []Mail
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// Shard advances a group of mutually independent processes, each with
+// an optional private feed, up to a caller-chosen horizon. Because the
+// processes never observe one another, the shard is free to drain them
+// one at a time (cache-friendly: one process's working set stays hot
+// through its whole advance) instead of interleaving steps in global
+// time order — the interleaving is unobservable, so the result is
+// identical.
+type Shard struct {
+	id    int
+	procs []Process
+	feeds []Feed
+	out   Mailbox
+}
+
+// NewShard builds an empty shard with the given identity (its rank in
+// the canonical merge order).
+func NewShard(id int) *Shard {
+	return &Shard{id: id, out: Mailbox{shard: id}}
+}
+
+// ID reports the shard's identity.
+func (sh *Shard) ID() int { return sh.id }
+
+// Add registers a process and its private feed (nil for processes fed
+// externally between barriers), returning the shard-local index.
+func (sh *Shard) Add(p Process, f Feed) int {
+	sh.procs = append(sh.procs, p)
+	sh.feeds = append(sh.feeds, f)
+	return len(sh.procs) - 1
+}
+
+// Emit buffers a cross-shard event in the shard's outbox; the
+// coordinator collects it at the next barrier (ShardGroup.DrainOutboxes)
+// in canonical order.
+func (sh *Shard) Emit(at time.Duration, payload any) { sh.out.Emit(at, payload) }
+
+// DrainOutbox returns and empties the shard's buffered cross-shard
+// events in (At, Seq) order. Call only while the shard is quiesced.
+func (sh *Shard) DrainOutbox() []Mail { return sh.out.Drain() }
+
+// NextAt reports the earliest pending occurrence (feed delivery or
+// process step) across the shard, or Never when every process is idle
+// and every feed exhausted. Call only while the shard is quiesced.
+func (sh *Shard) NextAt() time.Duration {
+	earliest := Never
+	for i, p := range sh.procs {
+		at := p.NextEventAt()
+		if f := sh.feeds[i]; f != nil {
+			if fa := f.NextAt(); fa != Never && (at == Never || fa < at) {
+				at = fa
+			}
+		}
+		if at != Never && (earliest == Never || at < earliest) {
+			earliest = at
+		}
+	}
+	return earliest
+}
+
+// AdvanceTo advances every process while its next occurrence is
+// strictly before horizon (Never = no bound: drain fully). Occurrences
+// at exactly the horizon are left for after the barrier — they must
+// observe whatever the coordinator does there (the conservative
+// lookahead contract). Ties between a feed delivery and a process step
+// at the same time go to the feed, mirroring Timeline's
+// event-before-step rule.
+func (sh *Shard) AdvanceTo(horizon time.Duration) error {
+	for i := range sh.procs {
+		if err := sh.advanceProc(i, horizon); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sh *Shard) advanceProc(i int, horizon time.Duration) error {
+	p, f := sh.procs[i], sh.feeds[i]
+	for {
+		pa := p.NextEventAt()
+		fa := Never
+		if f != nil {
+			fa = f.NextAt()
+		}
+		var at time.Duration
+		feedNext := false
+		switch {
+		case fa == Never && pa == Never:
+			return nil
+		case pa == Never:
+			at, feedNext = fa, true
+		case fa == Never:
+			at = pa
+		case fa <= pa: // event-before-step on ties
+			at, feedNext = fa, true
+		default:
+			at = pa
+		}
+		if horizon != Never && at >= horizon {
+			return nil
+		}
+		if feedNext {
+			if err := f.Deliver(); err != nil {
+				return err
+			}
+			continue
+		}
+		progressed, err := p.Step()
+		if err != nil {
+			return err
+		}
+		if !progressed {
+			return fmt.Errorf("sim: shard %d process %d advertised an event at %v but made no progress", sh.id, i, at)
+		}
+	}
+}
+
+// ShardGroup drives a set of shards, one worker goroutine per shard,
+// through a sequence of epoch barriers. Between AdvanceAll calls every
+// worker is parked, so the coordinator may read and mutate any shard's
+// processes directly; the command/acknowledge channel pair orders that
+// access (happens-before) without further locking.
+type ShardGroup struct {
+	shards []*Shard
+	cmds   []chan time.Duration
+	errs   []error
+	wg     sync.WaitGroup
+	live   bool
+}
+
+// NewShardGroup builds a group over the given shards.
+func NewShardGroup(shards ...*Shard) *ShardGroup {
+	return &ShardGroup{
+		shards: shards,
+		cmds:   make([]chan time.Duration, len(shards)),
+		errs:   make([]error, len(shards)),
+	}
+}
+
+// Shards exposes the member shards (coordinator access between
+// barriers).
+func (g *ShardGroup) Shards() []*Shard { return g.shards }
+
+// Start launches one worker goroutine per shard. Idempotent.
+func (g *ShardGroup) Start() {
+	if g.live {
+		return
+	}
+	g.live = true
+	for i := range g.shards {
+		g.cmds[i] = make(chan time.Duration)
+		go g.worker(i)
+	}
+}
+
+func (g *ShardGroup) worker(i int) {
+	for horizon := range g.cmds[i] {
+		g.errs[i] = g.shards[i].AdvanceTo(horizon)
+		g.wg.Done()
+	}
+}
+
+// Stop terminates the workers. The shards remain usable inline (via
+// AdvanceAll, which falls back to sequential advancement when the
+// group is stopped). Idempotent.
+func (g *ShardGroup) Stop() {
+	if !g.live {
+		return
+	}
+	g.live = false
+	for i := range g.cmds {
+		close(g.cmds[i])
+		g.cmds[i] = nil
+	}
+}
+
+// AdvanceAll is the epoch barrier: every shard advances to horizon in
+// parallel, and the call returns only when all are quiesced. Errors
+// are reported deterministically — the failing shard with the lowest
+// ID wins — so a sharded run fails identically regardless of worker
+// interleaving. Without Start, shards advance inline in ID order
+// (the degenerate single-goroutine schedule, useful for tests).
+func (g *ShardGroup) AdvanceAll(horizon time.Duration) error {
+	if !g.live {
+		for _, sh := range g.shards {
+			if err := sh.AdvanceTo(horizon); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	g.wg.Add(len(g.shards))
+	for i := range g.cmds {
+		g.cmds[i] <- horizon
+	}
+	g.wg.Wait()
+	for _, err := range g.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NextAt reports the earliest pending occurrence across all shards, or
+// Never when the whole group is drained. Call only between barriers.
+func (g *ShardGroup) NextAt() time.Duration {
+	earliest := Never
+	for _, sh := range g.shards {
+		if at := sh.NextAt(); at != Never && (earliest == Never || at < earliest) {
+			earliest = at
+		}
+	}
+	return earliest
+}
+
+// DrainOutboxes collects every shard's buffered cross-shard events in
+// the canonical (At, Shard, Seq) order. Call only between barriers.
+func (g *ShardGroup) DrainOutboxes() []Mail {
+	streams := make([][]Mail, 0, len(g.shards))
+	for _, sh := range g.shards {
+		if sh.out.Len() > 0 {
+			streams = append(streams, sh.out.Drain())
+		}
+	}
+	if len(streams) == 0 {
+		return nil
+	}
+	return MergeMail(streams...)
+}

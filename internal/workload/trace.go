@@ -68,6 +68,17 @@ func MarkColdCandidates(t Trace, gap time.Duration) int {
 	return marked
 }
 
+// ResetRuntime returns every request to its as-generated state (see
+// sched.Request.ResetRuntime), so the same trace can be replayed for
+// wall-clock repeat measurements without regenerating it. Traces
+// pre-stamped with MarkColdCandidates must be re-marked after a reset:
+// the stamp lives in the runtime fields.
+func (t Trace) ResetRuntime() {
+	for _, r := range t {
+		r.ResetRuntime()
+	}
+}
+
 // Merge combines traces and re-sorts by arrival time, reassigning IDs.
 func Merge(traces ...Trace) Trace {
 	var out Trace

@@ -289,6 +289,17 @@ func (c *ClusterSystem) Serve(trace Trace) (*Report, error) {
 	return c.cluster.Run(trace)
 }
 
+// ServeSharded replays a trace on the parallel sharded engine:
+// instances are partitioned across shards worker goroutines,
+// synchronized only at the points that couple them. The report is
+// bit-identical to Serve's — shard count changes wall-clock time only.
+// Configurations whose coupling requires a global event order (shared
+// registry store, autoscaling, preemption) transparently run
+// sequentially.
+func (c *ClusterSystem) ServeSharded(trace Trace, shards int) (*Report, error) {
+	return c.cluster.RunSharded(trace, shards)
+}
+
 // Size reports the number of replicas.
 func (c *ClusterSystem) Size() int { return c.cluster.Size() }
 

@@ -1,6 +1,7 @@
 package valora
 
 import (
+	"reflect"
 	"testing"
 	"time"
 )
@@ -27,6 +28,38 @@ func TestServeRoundTrip(t *testing.T) {
 	}
 	if rep.Completed != len(trace) || rep.AvgTokenLatency <= 0 {
 		t.Fatalf("bad report: %+v", rep)
+	}
+}
+
+// TestServeShardedMatchesServe pins the facade contract: the sharded
+// engine returns a report identical to the sequential Serve for the
+// same workload.
+func TestServeShardedMatchesServe(t *testing.T) {
+	run := func(shards int) *Report {
+		sys, err := NewCluster(Config{MaxBatch: 16}, 4, LeastLoadedDispatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := RetrievalWorkload(3, 8*time.Second, 8, 0.6, 1)
+		var rep *Report
+		if shards == 0 {
+			rep, err = sys.Serve(trace)
+		} else {
+			rep, err = sys.ServeSharded(trace, shards)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	want := run(0)
+	if want.Completed == 0 {
+		t.Fatal("workload completed nothing")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		if got := run(shards); !reflect.DeepEqual(want, got) {
+			t.Fatalf("shards=%d diverges from sequential Serve:\n%+v\nvs\n%+v", shards, got, want)
+		}
 	}
 }
 
