@@ -36,6 +36,11 @@ func main() {
 	suite.OutDir = *outDir
 	suite.Shards = *shards
 	if *list {
+		traj := suite.TrajectoryPath()
+		if abs, err := filepath.Abs(traj); err == nil {
+			traj = abs
+		}
+		fmt.Printf("# trajectory: %s\n", traj)
 		for _, e := range suite.All() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Desc)
 		}

@@ -1,0 +1,169 @@
+package analysis_test
+
+// The runtime half of the hotpath contract: every function annotated
+// //valora:hotpath must run allocation-free at steady state. The
+// static analyzer is conservative (it cannot see that a cold branch
+// never executes, or that an append lands in retained capacity), so
+// each annotated function also gets an AllocsPerRun gate here driving
+// its steady path. A new allocation in any of them fails this test
+// before it ever shows up in a profile.
+
+import (
+	"testing"
+	"time"
+
+	"valora/internal/lmm"
+	"valora/internal/lora"
+	"valora/internal/registry"
+	"valora/internal/sched"
+	"valora/internal/sim"
+	"valora/internal/simgpu"
+)
+
+func gate(t *testing.T, name string, fn func()) {
+	t.Helper()
+	fn() // warm: first call may grow scratch buffers
+	if got := testing.AllocsPerRun(200, fn); got != 0 {
+		t.Errorf("%s: %.1f allocs per run at steady state, want 0", name, got)
+	}
+}
+
+// Pool.Require with every adapter resident is the per-iteration case:
+// pins, touches, unpins — no swap-ins, no capacity error.
+func TestRequireSteadyStateZeroAlloc(t *testing.T) {
+	model := lmm.QwenVL7B()
+	pool := lora.NewPool(simgpu.A100(), 64*model.AdapterBytes(model.DefaultRank), true, true)
+	adapters := lora.MakeUniformAdapters(model, 8, model.DefaultRank)
+	if _, err := pool.Require(adapters, 0); err != nil {
+		t.Fatal(err)
+	}
+	gate(t, "Pool.Require (resident batch)", func() {
+		if _, err := pool.Require(adapters, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// ArrivalQueue push/pop cycles reuse the heap's backing array once it
+// has grown to the working-set size.
+func TestArrivalQueueZeroAlloc(t *testing.T) {
+	var q sched.ArrivalQueue
+	reqs := make([]*sched.Request, 64)
+	for i := range reqs {
+		reqs[i] = &sched.Request{ID: int64(i), Arrival: time.Duration(i)}
+	}
+	for _, r := range reqs { // grow the heap once
+		q.Push(r)
+	}
+	for q.PopDue(time.Hour) != nil {
+	}
+	gate(t, "ArrivalQueue.Push/PopDue", func() {
+		for _, r := range reqs {
+			q.Push(r)
+		}
+		for q.PopDue(time.Hour) != nil {
+		}
+	})
+}
+
+// gateProc is a minimal sim.Process whose next-event time the test
+// steers to force heap movement.
+type gateProc struct{ at time.Duration }
+
+func (p *gateProc) NextEventAt() time.Duration { return p.at }
+func (p *gateProc) Step() (bool, error)        { return true, nil }
+
+// Timeline.Refresh is the decrease-key operation: steering one
+// process's key across the heap (to the front, to the back, to idle
+// and back) exercises hup, hdown, hremove and hpush without ever
+// growing the heap arrays.
+func TestTimelineRefreshZeroAlloc(t *testing.T) {
+	tl := &sim.Timeline{}
+	procs := make([]*gateProc, 8)
+	idx := make([]int, 8)
+	for i := range procs {
+		procs[i] = &gateProc{at: time.Duration(i+1) * time.Millisecond}
+		idx[i] = tl.Add(procs[i])
+	}
+	target := procs[3]
+	gate(t, "Timeline.Refresh", func() {
+		for _, at := range []time.Duration{time.Nanosecond, time.Hour, sim.Never, 4 * time.Millisecond} {
+			target.at = at
+			tl.Refresh(idx[3])
+		}
+	})
+}
+
+// VaLoRAPolicy.Decide at steady state: scratch buffers are resliced,
+// cohort counts are epoch-versioned in a map that stops growing once
+// every adapter has been seen.
+func TestDecideZeroAlloc(t *testing.T) {
+	p := sched.NewVaLoRAPolicy()
+	active := make([]*sched.Request, 16)
+	for i := range active {
+		active[i] = &sched.Request{ID: int64(i), AdapterID: i % 4, InputTokens: 64}
+	}
+	it := sched.Iteration{
+		Now:    time.Second,
+		Active: active,
+		State:  lora.State{Mode: lora.ModeMerged, Merged: 0},
+		MaxBS:  8,
+	}
+	gate(t, "VaLoRAPolicy.Decide", func() {
+		it.Now += time.Millisecond
+		p.Decide(it)
+	})
+}
+
+// TenantQueue.Pop at steady state: per-tenant heaps shrink and regrow
+// inside retained capacity.
+func TestTenantPopZeroAlloc(t *testing.T) {
+	tq := sched.NewTenantQueue(true,
+		sched.TenantConfig{Name: "a", Weight: 2},
+		sched.TenantConfig{Name: "b", Weight: 1},
+	)
+	reqs := make([]*sched.Request, 32)
+	for i := range reqs {
+		reqs[i] = &sched.Request{ID: int64(i), Arrival: time.Duration(i), Tenant: []string{"a", "b"}[i%2]}
+	}
+	push := func() {
+		for _, r := range reqs {
+			if !tq.Push(r) {
+				t.Fatal("push shed a request")
+			}
+		}
+	}
+	push()
+	for tq.Pop() != nil {
+	}
+	gate(t, "TenantQueue.Pop", func() {
+		push()
+		for tq.Pop() != nil {
+		}
+	})
+}
+
+// Prefetcher.Observe on an adapter that is already resident (the
+// per-arrival common case) — also gated in the registry package; this
+// copy keeps the whole hotpath contract auditable in one file.
+func TestObserveZeroAlloc(t *testing.T) {
+	model := lmm.QwenVL7B()
+	adapters := lora.MakeUniformAdapters(model, 4, model.DefaultRank)
+	cat := registry.CatalogFromAdapters(adapters, nil)
+	ab := adapters[0].Bytes()
+	store := registry.NewStore(registry.Config{
+		HostCapacity:    16 * ab,
+		RemoteLatency:   time.Millisecond,
+		RemoteBandwidth: 1e9,
+	}, cat)
+	pf := registry.NewPrefetcher(store, 2)
+	pf.Observe(0, 0)
+	for store.NextFetchDone() > 0 {
+		store.Advance(store.NextFetchDone())
+	}
+	now := time.Second
+	gate(t, "Prefetcher.Observe (resident)", func() {
+		now += time.Microsecond
+		pf.Observe(0, now)
+	})
+}

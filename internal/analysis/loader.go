@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one parsed and type-checked package, the unit the
+// analyzers run over.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+}
+
+// chainImporter resolves module-internal imports from the packages the
+// loader has already checked and everything else (the standard
+// library) from source. Type-checking stdlib from source is the one
+// importer that works without compiled export data or network access;
+// the whole repo resolves in a couple of seconds.
+type chainImporter struct {
+	local map[string]*types.Package
+	src   types.ImporterFrom
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.src.ImportFrom(path, "", 0)
+}
+
+// newFileSetImporter builds the shared fileset and its source
+// importer. Cgo is disabled for the loader's build context: the
+// source importer cannot process `import "C"` files, and with cgo off
+// the standard library presents its pure-Go fallbacks instead.
+func newFileSetImporter() (*token.FileSet, *chainImporter) {
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return fset, &chainImporter{
+		local: make(map[string]*types.Package),
+		src:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// newInfo allocates the types.Info maps the analyzers consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// checkFiles parses and type-checks one package's files.
+func checkFiles(fset *token.FileSet, imp types.Importer, path, dir string, fileNames []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(fileNames))
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadPackages loads, parses and type-checks the packages matched by
+// the go-list patterns (e.g. "./...") relative to dir, in dependency
+// order. Test files are not loaded: the contracts the analyzers
+// enforce are properties of production code (tests measure wall-clock
+// and spin goroutines on purpose).
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// Two listings: the matched set (what the caller gets diagnostics
+	// for) and its non-stdlib dependency closure (what must be
+	// type-checked locally so module-internal imports resolve).
+	matched, err := goList(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listedPackage)
+	for _, p := range deps {
+		if !p.Standard {
+			byPath[p.ImportPath] = p
+		}
+	}
+
+	fset, imp := newFileSetImporter()
+	checked := make(map[string]*Package)
+	var load func(p *listedPackage) error
+	load = func(p *listedPackage) error {
+		if _, ok := checked[p.ImportPath]; ok {
+			return nil
+		}
+		// Mark before descending: import cycles would be a go build
+		// error anyway, this just keeps the loader from recursing.
+		checked[p.ImportPath] = nil
+		for _, dep := range p.Imports {
+			if lp, ok := byPath[dep]; ok {
+				if err := load(lp); err != nil {
+					return err
+				}
+			}
+		}
+		pkg, err := checkFiles(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return err
+		}
+		checked[p.ImportPath] = pkg
+		imp.local[p.ImportPath] = pkg.Types
+		return nil
+	}
+	ordered := make([]*Package, 0, len(matched))
+	for _, p := range matched {
+		lp, ok := byPath[p.ImportPath]
+		if !ok {
+			continue // stdlib pattern; nothing of ours to analyze
+		}
+		if err := load(lp); err != nil {
+			return nil, err
+		}
+		ordered = append(ordered, checked[p.ImportPath])
+	}
+	return ordered, nil
+}
+
+// goList shells out to `go list -json` (with -deps when deps is set)
+// and decodes the package stream.
+func goList(dir string, patterns []string, deps bool) ([]*listedPackage, error) {
+	args := []string{"list", "-json"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	cmd := exec.Command("go", append(args, patterns...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v: %s", patterns, err, stderr.String())
+	}
+	var listed []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		listed = append(listed, &p)
+	}
+	return listed, nil
+}

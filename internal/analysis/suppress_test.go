@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSnippet(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing snippet: %v", err)
+	}
+	return fset, f
+}
+
+// wantMessages asserts diags contains exactly one message per
+// substring, in any order.
+func wantMessages(t *testing.T, diags []Diagnostic, subs ...string) {
+	t.Helper()
+	if len(diags) != len(subs) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(subs), diags)
+	}
+	for _, sub := range subs {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic contains %q in %v", sub, diags)
+		}
+	}
+}
+
+// TestSuppressionErrors pins the malformed-suppression contract: a
+// //valora:allow that names no analyzer, names an unknown analyzer,
+// carries no "-- reason", or suppresses nothing is itself an error.
+func TestSuppressionErrors(t *testing.T) {
+	const src = `package p
+
+func f() {
+	//valora:allow
+	_ = 1
+	//valora:allow nosuchcheck -- not a real analyzer
+	_ = 2
+	//valora:allow nondeterminism
+	_ = 3
+	//valora:allow nondeterminism -- justified but covering nothing
+	_ = 4
+}
+`
+	fset, f := parseSnippet(t, src)
+	diags := ApplySuppressions(fset, []*ast.File{f}, nil)
+	wantMessages(t, diags,
+		"names no analyzer",
+		`unknown analyzer "nosuchcheck"`,
+		"bare //valora:allow nondeterminism",
+		"unused suppression for nondeterminism",
+	)
+}
+
+// TestSuppressionCoverage pins the matcher's reach: same line or the
+// line immediately above, same file, same analyzer — nothing else.
+func TestSuppressionCoverage(t *testing.T) {
+	const src = `package p
+
+func f() {
+	//valora:allow nondeterminism -- line-above form
+	_ = 1
+	_ = 2 //valora:allow nondeterminism -- same-line form
+}
+`
+	fset, f := parseSnippet(t, src)
+	mk := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{Analyzer: analyzer, Message: analyzer + " finding",
+			Pos: token.Position{Filename: "snippet.go", Line: line}}
+	}
+	// Line 5 is covered by the line-4 annotation, line 6 by its own.
+	diags := ApplySuppressions(fset, []*ast.File{f}, []Diagnostic{
+		mk(5, "nondeterminism"),
+		mk(6, "nondeterminism"),
+	})
+	wantMessages(t, diags) // both suppressed, both suppressions used
+	// A different analyzer on the same line is not covered; both
+	// suppressions then go stale and report themselves.
+	diags = ApplySuppressions(fset, []*ast.File{f}, []Diagnostic{
+		mk(5, "hotpath"),
+		mk(6, "hotpath"),
+	})
+	wantMessages(t, diags,
+		"hotpath finding",
+		"hotpath finding",
+		"unused suppression for nondeterminism",
+		"unused suppression for nondeterminism",
+	)
+}
+
+// TestParallelAnnotation pins the file-level annotation parse: the
+// reason is mandatory, and RunPackage reports a bare annotation.
+func TestParallelAnnotation(t *testing.T) {
+	_, bare := parseSnippet(t, "//valora:parallel\npackage p\n")
+	annotated, hasReason, _ := ParallelFile(bare)
+	if !annotated || hasReason {
+		t.Fatalf("bare annotation: annotated=%v hasReason=%v, want true false", annotated, hasReason)
+	}
+	_, reasoned := parseSnippet(t, "//valora:parallel owns the worker goroutines\npackage p\n")
+	annotated, hasReason, _ = ParallelFile(reasoned)
+	if !annotated || !hasReason {
+		t.Fatalf("reasoned annotation: annotated=%v hasReason=%v, want true true", annotated, hasReason)
+	}
+	_, plain := parseSnippet(t, "package p\n")
+	annotated, _, _ = ParallelFile(plain)
+	if annotated {
+		t.Fatal("unannotated file reported as parallel")
+	}
+}
+
+// TestHotpathMarker pins the function annotation parse.
+func TestHotpathMarker(t *testing.T) {
+	_, f := parseSnippet(t, `package p
+
+//valora:hotpath
+func hot() {}
+
+func cold() {}
+`)
+	for _, decl := range f.Decls {
+		fn := decl.(*ast.FuncDecl)
+		want := fn.Name.Name == "hot"
+		if IsHotpath(fn) != want {
+			t.Errorf("IsHotpath(%s) = %v, want %v", fn.Name.Name, !want, want)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package gocontain is the golden fixture for the goroutine
+// containment analyzer. This file carries no //valora:parallel
+// annotation, so its concurrency is flagged.
+package gocontain
+
+func spawn(ch chan int) {
+	go func() { // want "go statement outside a"
+		ch <- 1
+	}()
+}
+
+func race(a, b chan int) int {
+	select { // want "select with 2 communication cases outside a"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// singleCase is clean: one communication case plus default cannot
+// race two ready channels against each other.
+func singleCase(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+func suppressedSpawn(ch chan int) {
+	//valora:allow goroutines -- golden fixture: the goroutine is joined before this function returns
+	go func() {
+		ch <- 1
+	}()
+}

@@ -1,0 +1,19 @@
+//valora:parallel golden fixture: this file models the shard engine and owns its goroutines
+package gocontain
+
+// ownedSpawn and ownedSelect are clean: the file annotation (with its
+// mandatory reason) marks this file as owning parallelism.
+func ownedSpawn(ch chan int) {
+	go func() {
+		ch <- 2
+	}()
+}
+
+func ownedSelect(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

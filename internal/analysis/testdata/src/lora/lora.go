@@ -1,0 +1,10 @@
+// Package lora is a miniature stand-in for valora/internal/lora used
+// by the copyhygiene goldens.
+package lora
+
+type Pool struct {
+	used int64
+	pins map[int]int
+}
+
+func (p *Pool) Used() int64 { return p.used }

@@ -1,0 +1,14 @@
+package nondet
+
+// suppressedPick carries a justified suppression: the max fold below
+// really is total, the analyzer just cannot prove it.
+func suppressedPick(m map[int]int) int {
+	best := -1
+	for k := range m {
+		if k > best {
+			//valora:allow nondeterminism -- max fold is total: the winner is the same in any visit order
+			best = k
+		}
+	}
+	return best
+}

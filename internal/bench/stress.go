@@ -2,7 +2,9 @@ package bench
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -283,25 +285,44 @@ func (s *Suite) MillionRequests() (*Table, error) {
 }
 
 // appendStressRecord appends rec to the BENCH_serving.json trajectory
-// (creating it on first run) in Suite.OutDir.
+// (creating it on first run) in Suite.OutDir. The trajectory is the
+// repo's perf evidence chain, so nothing about it fails silently: an
+// unreadable or unparseable existing file and an unwritable target
+// are all hard errors (surfaced as a non-zero valora-bench exit)
+// rather than a quiet record drop or a quietly restarted history.
 func (s *Suite) appendStressRecord(rec StressRecord) error {
+	path := s.TrajectoryPath()
+	var records []StressRecord
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// First run: start a fresh trajectory.
+	case err != nil:
+		return fmt.Errorf("bench: reading trajectory %s: %w (refusing to overwrite records that could not be read)", path, err)
+	default:
+		if uerr := json.Unmarshal(data, &records); uerr != nil {
+			return fmt.Errorf("bench: trajectory %s is not valid JSON: %w (move the file aside to start a fresh trajectory)", path, uerr)
+		}
+	}
+	records = append(records, rec)
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: writing trajectory %s: %w (this run's record was not persisted)", path, err)
+	}
+	return nil
+}
+
+// TrajectoryPath reports where the BENCH_serving.json trajectory will
+// be read and written under the suite's current OutDir ("" = current
+// directory). The CLI prints it so there is never a question of which
+// file a run appended to.
+func (s *Suite) TrajectoryPath() string {
 	dir := s.OutDir
 	if dir == "" {
 		dir = "."
 	}
-	path := filepath.Join(dir, BenchServingFile)
-	var records []StressRecord
-	if data, err := os.ReadFile(path); err == nil {
-		// A corrupt trajectory file should not sink the run: start over
-		// rather than keep partially-decoded records.
-		if json.Unmarshal(data, &records) != nil {
-			records = nil
-		}
-	}
-	records = append(records, rec)
-	data, err := json.MarshalIndent(records, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return filepath.Join(dir, BenchServingFile)
 }

@@ -150,6 +150,7 @@ func (p *Pool) listPushMRU(e *poolEntry) {
 }
 
 // touch marks a resident entry most recently used.
+//valora:hotpath
 func (p *Pool) touch(e *poolEntry) {
 	if p.root.prev == e {
 		return
@@ -159,6 +160,7 @@ func (p *Pool) touch(e *poolEntry) {
 }
 
 // evict removes a resident entry from the pool.
+//valora:hotpath
 func (p *Pool) evict(e *poolEntry) {
 	p.listRemove(e)
 	delete(p.entries, e.id)
@@ -205,6 +207,7 @@ func (p *Pool) evictUntil(need int64) {
 // whole pool, or blocked by the pinned working set — are left
 // non-resident and reported through a *CapacityError; the pool never
 // over-commits (Used() ≤ Capacity always holds).
+//valora:hotpath
 func (p *Pool) Require(adapters []*Adapter, overlapBudget time.Duration) (time.Duration, error) {
 	for _, a := range adapters {
 		if a != nil {
@@ -224,6 +227,7 @@ func (p *Pool) Require(adapters []*Adapter, overlapBudget time.Duration) (time.D
 		}
 		bytes := a.Bytes()
 		if bytes > p.Capacity {
+			//valora:allow hotpath -- cold path: reached only by adapters larger than the whole pool, whose requests the server then rejects; the steady path never allocates (allocgate_test.go pins it)
 			oversized = append(oversized, a.ID)
 			continue
 		}
@@ -232,6 +236,7 @@ func (p *Pool) Require(adapters []*Adapter, overlapBudget time.Duration) (time.D
 			// anyway would leave used > Capacity permanently visible,
 			// and evicting first would throw residency away for
 			// nothing. Defer untouched.
+			//valora:allow hotpath -- cold path: reached only when the pinned working set blocks a swap-in; the steady path never allocates (allocgate_test.go pins it)
 			deferred = append(deferred, a.ID)
 			continue
 		}
@@ -262,6 +267,7 @@ func (p *Pool) Require(adapters []*Adapter, overlapBudget time.Duration) (time.D
 
 	var err error
 	if len(oversized) > 0 || len(deferred) > 0 {
+		//valora:allow hotpath -- cold path: the error only exists on capacity misses; with every adapter resident the nil error never boxes
 		err = &CapacityError{Capacity: p.Capacity, Oversized: oversized, Deferred: deferred}
 	}
 	if copyTime == 0 {
@@ -311,6 +317,7 @@ func (p *Pool) CheckInvariants() error {
 	}
 	for id, c := range p.pins {
 		if c <= 0 {
+			//valora:allow nondeterminism -- invariant checker: any violation fails; map order only varies which violating pin the error names, never pass/fail
 			return fmt.Errorf("lora: stale pin count %d for adapter %d", c, id)
 		}
 	}

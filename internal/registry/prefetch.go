@@ -30,6 +30,7 @@ func NewPrefetcher(store *Store, lookahead int) *Prefetcher {
 // cold observation starts a fetch when the link has lookahead room.
 // started reports whether a new fetch went on the link; eta is its
 // completion time.
+//valora:hotpath
 func (p *Prefetcher) Observe(adapterID int, now time.Duration) (eta time.Duration, started bool) {
 	if p == nil || p.Store == nil {
 		return 0, false

@@ -160,6 +160,7 @@ func (p *VaLoRAPolicy) effTheta(r *Request, theta, now time.Duration) time.Durat
 // additionally pairs starving deadline-carrying requests stuck in the
 // Waiting backlog with displaceable active requests (Decision.Evict /
 // Decision.Admit).
+//valora:hotpath
 func (p *VaLoRAPolicy) Decide(it Iteration) Decision {
 	now, active, cur, maxBS := it.Now, it.Active, it.State, it.MaxBS
 	if len(active) == 0 {

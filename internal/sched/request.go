@@ -262,9 +262,11 @@ func mostCommonAdapter(active []*Request, cur lora.State) (int, []*Request) {
 	for id, c := range counts {
 		switch {
 		case c > bestCount:
+			//valora:allow nondeterminism -- total fold: strict-greater replacement plus the merged-then-lowest-ID tie-break below picks the same winner in any visit order
 			best, bestCount = id, c
 		case c == bestCount:
 			if id == cur.Merged || (best != cur.Merged && id < best) {
+				//valora:allow nondeterminism -- tie-break is a total order (merged adapter first, then lowest ID), so the selection is order-independent
 				best = id
 			}
 		}

@@ -255,6 +255,7 @@ func (q *TenantQueue) deficit(ts *tenantState) float64 {
 // tenant, keeping runs deterministic). FIFO mode: the globally
 // earliest (arrival, submission) request wins regardless of tenancy.
 // Within the chosen tenant requests leave in EDF order.
+//valora:hotpath
 func (q *TenantQueue) Pop() *Request {
 	if q.size == 0 {
 		return nil

@@ -526,9 +526,18 @@ func (s *Server) Step() (bool, error) {
 			groupTokens[r.AdapterID]++
 		}
 	}
+	// Emit groups in batch first-seen order, not map order: ExtraCost
+	// folds them commutatively today, but group order must not hinge
+	// on that staying true. Consuming entries out of the scratch map
+	// keeps the pass O(batch) and allocation-free.
 	groups := s.scratchGroups[:0]
-	for id, tok := range groupTokens {
-		groups = append(groups, lora.TokenGroup{AdapterID: id, Rank: s.adapterOf(id).Rank, Tokens: tok})
+	for _, r := range batch {
+		tok, ok := groupTokens[r.AdapterID]
+		if !ok {
+			continue // adapter already grouped
+		}
+		delete(groupTokens, r.AdapterID)
+		groups = append(groups, lora.TokenGroup{AdapterID: r.AdapterID, Rank: s.adapterOf(r.AdapterID).Rank, Tokens: tok})
 	}
 	s.scratchGroups = groups
 

@@ -410,12 +410,15 @@ func (c *Cluster) fillTenantReports(agg *Report, tq *sched.TenantQueue,
 		}
 	}
 
+	// Sum served cost in registration order, not map order: float
+	// addition is not associative, and Served() covers exactly the
+	// registered tenants.
 	served := tq.Served()
-	var totalServed float64
-	for _, v := range served {
-		totalServed += v
-	}
 	cfgs := tq.Tenants()
+	var totalServed float64
+	for _, tc := range cfgs {
+		totalServed += served[tc.Name]
+	}
 	prio := make(map[string]int, len(cfgs))
 	weight := make(map[string]float64, len(cfgs))
 	names := make([]string, 0, len(cfgs))

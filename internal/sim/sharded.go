@@ -1,3 +1,4 @@
+//valora:parallel epoch-barrier shard engine: this file owns the worker goroutines and their barrier; determinism is restored by the conservative horizon and the canonical (At, Shard, Seq) mail merge
 package sim
 
 import (

@@ -124,6 +124,7 @@ func (t *Timeline) Pending() int { return t.events.Len() }
 // heap — the decrease-key hook for external mutations (an event
 // handler submitting work to an idle instance). The timeline calls it
 // itself after stepping a process.
+//valora:hotpath
 func (t *Timeline) Refresh(i int) {
 	if t.procs[i] == nil {
 		return // removed
@@ -159,6 +160,8 @@ func (t *Timeline) hswap(x, y int) {
 	t.pos[t.heap[y]] = y
 }
 
+// hup sifts slot x toward the root.
+//valora:hotpath
 func (t *Timeline) hup(x int) {
 	for x > 0 {
 		parent := (x - 1) / 2
@@ -170,6 +173,8 @@ func (t *Timeline) hup(x int) {
 	}
 }
 
+// hdown sifts slot x toward the leaves.
+//valora:hotpath
 func (t *Timeline) hdown(x int) {
 	n := len(t.heap)
 	for {

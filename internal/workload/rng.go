@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Stream is a counter-based random stream: every draw is a pure
+// function of (seed, shard, seq), with no shared state between
+// streams. That is the property parallel trace generation needs —
+// shard s's i-th draw is the same number no matter how many workers
+// run, which worker runs shard s, or how their execution interleaves —
+// and the property the global math/rand stream (flagged by the
+// nondeterminism analyzer) fundamentally lacks: its draws depend on
+// every call that happened before, process-wide.
+//
+// The generator is a splitmix64-style finalizer over a Weyl sequence,
+// which passes the statistical bar a workload synthesizer needs
+// (uniform 64-bit output, no visible lattice across shards). It is not
+// cryptographic and does not try to be.
+type Stream struct {
+	key uint64
+	seq uint64
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over 64
+// bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewStream derives the stream for one (seed, shard) pair. Distinct
+// shards get statistically independent streams under the same seed.
+func NewStream(seed int64, shard uint64) Stream {
+	return Stream{key: mix64(uint64(seed)) ^ mix64(shard*0xd1342543de82ef95+0x9e3779b97f4a7c15)}
+}
+
+// Seq reports the number of draws taken so far (the seq of the next
+// draw).
+func (s *Stream) Seq() uint64 { return s.seq }
+
+// Skip advances the stream by n draws without generating them —
+// constant time, because draw i is a pure function of i.
+func (s *Stream) Skip(n uint64) { s.seq += n }
+
+// Uint64 returns draw seq and advances.
+func (s *Stream) Uint64() uint64 {
+	v := mix64(s.key + s.seq*0x9e3779b97f4a7c15)
+	s.seq++
+	return v
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It uses the fixed-point
+// multiply reduction (Lemire) rather than modulo; the residual bias is
+// below 2^-64 per draw.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Stream.Intn with non-positive n")
+	}
+	hi, _ := bits.Mul64(s.Uint64(), uint64(n))
+	return int(hi)
+}
+
+// ExpFloat64 returns an exponential variate with mean 1 by inversion.
+func (s *Stream) ExpFloat64() float64 {
+	return -math.Log(1 - s.Float64())
+}

@@ -1,0 +1,129 @@
+//valora:parallel block-parallel trace generation: workers fill disjoint fixed-size blocks from counter-based per-block streams, so the trace is a pure function of (cfg, block structure) and worker count only changes wall-clock time
+package workload
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"valora/internal/sched"
+	"valora/internal/train"
+)
+
+// stressBlock is the fixed generation block size of GenStressParallel.
+// It is part of the output contract: every request's random draws are
+// keyed by (seed, block, seq-within-block), so changing the block size
+// changes the trace. 4096 requests per block keeps per-block overhead
+// negligible while giving a 1M-request trace ~250 blocks of available
+// parallelism.
+const stressBlock = 4096
+
+// drawsPerRequest is each request's fixed draw budget within its
+// block stream: arrival gap, adapter pick, input tokens, output
+// tokens. Keeping the budget constant makes request j's draws start at
+// seq j*drawsPerRequest, independent of neighboring requests.
+const drawsPerRequest = 4
+
+// GenStressParallel synthesizes the same kind of stress trace as
+// GenStress, generated block-parallel from counter-based streams
+// (NewStream keyed by cfg.Seed and the block index). The trace is
+// bit-identical for any worker count — GenStressParallel(cfg, 1) and
+// GenStressParallel(cfg, 32) agree field for field — because no draw
+// depends on cross-block state: arrival times are a prefix sum of
+// per-request exponential gaps, computed as per-block sums first and
+// block base offsets second.
+//
+// The sequential GenStress remains the generator of record for the
+// existing bench experiments (its byte-exact output is pinned by the
+// bit-identity harness); GenStressParallel is the opt-in path for
+// trace sizes where generation itself is the bottleneck. The two
+// draw different numbers from the same config: same distribution
+// family, different streams.
+func GenStressParallel(cfg StressConfig, workers int) Trace {
+	cfg = cfg.withDefaults()
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := cfg.Requests
+	blocks := (n + stressBlock - 1) / stressBlock
+	if workers > blocks {
+		workers = blocks
+	}
+
+	// The picker's cumulative weights are read-only after construction
+	// and shared by every worker; draws go through PickAt with
+	// stream-supplied uniforms, not through the picker's own rng.
+	picker := NewSkewedPicker(cfg.NumAdapters, cfg.Skew, nil)
+	out := make(Trace, n)
+	gapSum := make([]time.Duration, blocks)
+
+	// Phase 1: fill every block's requests with block-local arrival
+	// offsets, and record each block's total gap.
+	runBlocks(workers, blocks, func(b int) {
+		s := NewStream(cfg.Seed, uint64(b))
+		lo := b * stressBlock
+		hi := min(lo+stressBlock, n)
+		inSpan := cfg.MaxInputTokens - cfg.MinInputTokens + 1
+		var local time.Duration
+		for i := lo; i < hi; i++ {
+			// Pin the request to its draw window regardless of how many
+			// draws the previous request actually consumed.
+			s.seq = uint64(i-lo) * drawsPerRequest
+			local += time.Duration(s.ExpFloat64() / cfg.Rate * float64(time.Second))
+			out[i] = &sched.Request{
+				ID:           int64(i + 1),
+				App:          sched.VisualRetrieval,
+				Task:         train.VisualQA,
+				AdapterID:    picker.PickAt(s.Float64()),
+				Head:         train.LMHead,
+				InputTokens:  cfg.MinInputTokens + s.Intn(inSpan),
+				OutputTokens: 1 + s.Intn(cfg.MaxOutputTokens),
+				Arrival:      local, // block-local; rebased below
+			}
+		}
+		gapSum[b] = local
+	})
+
+	// Phase 2: exclusive prefix over the per-block gap sums — the only
+	// sequential step, O(blocks).
+	base := make([]time.Duration, blocks)
+	var acc time.Duration
+	for b := 0; b < blocks; b++ {
+		base[b] = acc
+		acc += gapSum[b]
+	}
+
+	// Phase 3: rebase every block onto its global offset.
+	runBlocks(workers, blocks, func(b int) {
+		lo := b * stressBlock
+		hi := min(lo+stressBlock, n)
+		for i := lo; i < hi; i++ {
+			out[i].Arrival += base[b]
+		}
+	})
+	return out
+}
+
+// runBlocks runs fn(b) for every block on the given number of
+// workers, each pulling whole blocks by a fixed stride. Striding (not
+// work-stealing) keeps the block→worker mapping deterministic too,
+// though correctness only needs block independence.
+func runBlocks(workers, blocks int, fn func(b int)) {
+	if workers <= 1 {
+		for b := 0; b < blocks; b++ {
+			fn(b)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for b := w; b < blocks; b += workers {
+				fn(b)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
