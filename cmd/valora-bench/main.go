@@ -27,7 +27,7 @@ func main() {
 		id     = flag.String("id", "", "run a single experiment by id (empty = all)")
 		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files")
 		outDir = flag.String("out", "", "directory for persistent artifacts like BENCH_serving.json (default: current directory)")
-		shards = flag.Int("shards", 0, "add this shard count to the stress experiment's sweep and use it for the headline run (0 = defaults)")
+		shards = flag.Int("shards", 0, "shard count: joins the sweep-style experiments' shard axes and makes every other shard-aware experiment (marked [sharded] by -list) replay sharded and verify bit-identity against its sequential report (0 = defaults)")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -42,7 +42,11 @@ func main() {
 		}
 		fmt.Printf("# trajectory: %s\n", traj)
 		for _, e := range suite.All() {
-			fmt.Printf("%-18s %s\n", e.ID, e.Desc)
+			mark := ""
+			if e.Sharded() {
+				mark = " [sharded]"
+			}
+			fmt.Printf("%-18s %s%s\n", e.ID, e.Desc, mark)
 		}
 		return
 	}

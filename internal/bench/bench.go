@@ -75,9 +75,12 @@ type Suite struct {
 	// BENCH_*.json perf trajectories) write; empty means the current
 	// directory.
 	OutDir string
-	// Shards, when positive, is added to the stress experiment's
-	// shard sweep (if absent) and overrides the headline run's shard
-	// count — the -shards flag of valora-bench.
+	// Shards, when positive, is added to the shard sweeps of the
+	// sweep-style experiments (million-requests, parallel-managed),
+	// overrides the stress headline run's shard count, and makes every
+	// other shard-aware experiment (Experiment.Sharded) replay its runs
+	// through RunSharded and verify bit-identity against the sequential
+	// report — the -shards flag of valora-bench.
 	Shards int
 }
 
@@ -114,6 +117,20 @@ type Experiment struct {
 	Run  func() (*Table, error)
 }
 
+// shardedExperiments are the experiment IDs that honor Suite.Shards:
+// the sweep-style perf experiments add it to their shard axes, the
+// rest replay their runs through RunSharded and verify the report is
+// bit-identical to the sequential one. valora-bench -list flags them.
+var shardedExperiments = map[string]bool{
+	"cluster-dispatch": true,
+	"million-requests": true,
+	"multi-tenant":     true,
+	"parallel-managed": true,
+}
+
+// Sharded reports whether the experiment honors the -shards flag.
+func (e Experiment) Sharded() bool { return shardedExperiments[e.ID] }
+
 // All lists every experiment in presentation order.
 func (s *Suite) All() []Experiment {
 	return []Experiment{
@@ -141,6 +158,7 @@ func (s *Suite) All() []Experiment {
 		{"cluster-dispatch", "cluster dispatch policies on the shared timeline", s.ClusterDispatch},
 		{"million-requests", "simulator stress: 1M-request replay wall-clock", s.MillionRequests},
 		{"multi-tenant", "fair-share vs FIFO SLO attainment, 3 tenants + autoscaler", s.MultiTenant},
+		{"parallel-managed", "bounded-lookahead sharding on the saturated multi-tenant trace", s.ParallelManaged},
 		{"adapter-cold-start", "tiered adapter registry: prefetch + residency quotas vs cold fetches", s.AdapterColdStart},
 		{"preemption-tail", "iteration-level preemption: realtime p99 with vs without displacement", s.PreemptionTail},
 		{"fig24", "prefix-cache ablation on multi-round retrieval", s.Fig24PrefixCache},

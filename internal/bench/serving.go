@@ -338,6 +338,22 @@ func (s *Suite) ClusterDispatch() (*Table, error) {
 		}
 		t.AddRow(name, f2(rep.Throughput), f2(rep.AvgTokenLatency),
 			fmt.Sprintf("%d", rep.Switches), fmt.Sprintf("%d", rep.SwapIns), ms(rep.SwapStall))
+
+		// -shards spot check: fresh dispatch state (round-robin carries a
+		// cursor) and a regenerated trace, sharded report must match.
+		if s.Shards > 0 {
+			dispatch2, err := serving.DispatchByName(name)
+			if err != nil {
+				return nil, err
+			}
+			cl2, err := serving.NewClusterWithDispatch(replicas, dispatch2, build)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.spotCheckSharded("cluster-dispatch "+name, rep, cl2, s.retrievalTrace(float64(4*replicas), 0.6)); err != nil {
+				return nil, err
+			}
+		}
 	}
 	t.Notes = "adapter-affinity routing cuts swap-ins by orders of magnitude and lowers switches, which also improves latency: residency and mode economics dominate load balance on skewed adapter traffic."
 	return t, nil

@@ -42,8 +42,13 @@ type StressRecord struct {
 	// WallSeconds is the real time the replay took (median across
 	// Repeats); SimRPS is requests replayed per wall-clock second (the
 	// simulator's own throughput, the number the engine rework moves).
-	WallSeconds float64 `json:"wall_seconds"`
-	SimRPS      float64 `json:"sim_rps"`
+	// SpeedupVsSeq, where present, is the ratio of the experiment's
+	// sequential-engine wall time to this configuration's wall time on
+	// the same trace (parallel-managed records: classic managed engine
+	// over bounded-lookahead engine at this shard count).
+	WallSeconds  float64 `json:"wall_seconds"`
+	SimRPS       float64 `json:"sim_rps"`
+	SpeedupVsSeq float64 `json:"speedup_vs_seq,omitempty"`
 
 	// Virtual-time serving quality of the replay.
 	Completed    int     `json:"completed"`

@@ -120,8 +120,8 @@ func (t *tenantState) push(it tenantItem) {
 	t.up(len(t.h) - 1)
 }
 
-func (t *tenantState) pop() *Request {
-	r := t.h[0].req
+func (t *tenantState) pop() tenantItem {
+	it := t.h[0]
 	n := len(t.h) - 1
 	t.h[0] = t.h[n]
 	t.h[n] = tenantItem{}
@@ -129,7 +129,7 @@ func (t *tenantState) pop() *Request {
 	if n > 0 {
 		t.down(0)
 	}
-	return r
+	return it
 }
 
 // TenantQueue is the cluster-level admission queue of the multi-tenant
@@ -204,20 +204,68 @@ func (q *TenantQueue) TenantLen(name string) int {
 	return 0
 }
 
+// TenantRef is a resolved handle to one tenant's queue state. Hot
+// admission paths (the bounded-lookahead coordinator replays every
+// arrival of a saturated trace through the queue at each barrier)
+// resolve the tenant name once per request and issue the per-request
+// operations through the handle, instead of paying a string-keyed map
+// lookup per operation. The zero value is invalid; obtain refs from
+// Ref. Handles stay valid for the queue's lifetime.
+type TenantRef struct {
+	q  *TenantQueue
+	ts *tenantState
+}
+
+// Ref resolves a tenant name to a handle, auto-registering undeclared
+// names with weight 1 exactly like Touch.
+//
+//valora:hotpath one string lookup per request, then index-only ops
+func (q *TenantQueue) Ref(name string) TenantRef {
+	return TenantRef{q: q, ts: q.stateOf(name)}
+}
+
+// Index reports the tenant's registration index: dense, stable, and
+// aligned with the Tenants() slice, so callers can keep per-tenant
+// tallies in a slice instead of a string-keyed map.
+func (ref TenantRef) Index() int { return ref.ts.idx }
+
+// Push enqueues like TenantQueue.Push.
+func (ref TenantRef) Push(r *Request) bool {
+	ts := ref.ts
+	if ts.cfg.QueueCap > 0 && len(ts.h) >= ts.cfg.QueueCap {
+		return false
+	}
+	ref.q.seq++
+	ts.push(tenantItem{req: r, seq: ref.q.seq})
+	ref.q.size++
+	return true
+}
+
+// Restore re-inserts like TenantQueue.Restore.
+func (ref TenantRef) Restore(r *Request, seq uint64) {
+	ref.ts.push(tenantItem{req: r, seq: seq})
+	ref.q.size++
+}
+
+// Charge accounts like TenantQueue.Charge.
+func (ref TenantRef) Charge(cost float64) {
+	ref.ts.served += cost
+	ref.q.served += cost
+}
+
+// Refund returns cost like TenantQueue.Refund.
+func (ref TenantRef) Refund(cost float64) {
+	ref.ts.served -= cost
+	ref.q.served -= cost
+}
+
 // Push enqueues a request under its tenant. It reports false — and
 // leaves the queue untouched — when the tenant's queue is at its cap;
 // the caller sheds the request (per-tenant caps are the admission
 // stage's isolation guarantee: one tenant's backlog cannot consume the
 // whole cluster queue).
 func (q *TenantQueue) Push(r *Request) bool {
-	ts := q.stateOf(r.Tenant)
-	if ts.cfg.QueueCap > 0 && len(ts.h) >= ts.cfg.QueueCap {
-		return false
-	}
-	q.seq++
-	ts.push(tenantItem{req: r, seq: q.seq})
-	q.size++
-	return true
+	return q.Ref(r.Tenant).Push(r)
 }
 
 // Requeue re-admits a preempted request, bypassing the tenant's
@@ -236,9 +284,7 @@ func (q *TenantQueue) Requeue(r *Request) {
 // Refund returns cost units charged at a placement that a preemption
 // undid, so the tenant's served share reflects work actually retained.
 func (q *TenantQueue) Refund(tenant string, cost float64) {
-	ts := q.stateOf(tenant)
-	ts.served -= cost
-	q.served -= cost
+	q.Ref(tenant).Refund(cost)
 }
 
 // deficit is the tenant's unspent guaranteed quota in cost units:
@@ -257,6 +303,43 @@ func (q *TenantQueue) deficit(ts *tenantState) float64 {
 // Within the chosen tenant requests leave in EDF order.
 //valora:hotpath
 func (q *TenantQueue) Pop() *Request {
+	pick := q.pickNext()
+	if pick == nil {
+		return nil
+	}
+	q.size--
+	return pick.pop().req
+}
+
+// PopReserved pops under exactly Pop's policy but also returns the
+// request's submission sequence number, so a bounded-lookahead
+// coordinator can hand the reservation back with Restore if the epoch
+// ends before it is consumed. Returns (nil, 0) when empty.
+func (q *TenantQueue) PopReserved() (*Request, uint64) {
+	pick := q.pickNext()
+	if pick == nil {
+		return nil, 0
+	}
+	q.size--
+	it := pick.pop()
+	return it.req, it.seq
+}
+
+// Restore re-inserts a request previously removed with PopReserved
+// under its original submission sequence, undoing the pop
+// position-exactly: the EDF key and the FIFO tie order are both
+// functions of (dueAt, Arrival, seq), so restored requests are
+// indistinguishable from never having been popped, regardless of the
+// order restores are issued in. It bypasses QueueCap for the same
+// reason Requeue does — the request already survived admission.
+func (q *TenantQueue) Restore(r *Request, seq uint64) {
+	q.Ref(r.Tenant).Restore(r, seq)
+}
+
+// pickNext selects the tenant the next pop serves (nil when empty)
+// without mutating anything.
+//valora:hotpath
+func (q *TenantQueue) pickNext() *tenantState {
 	if q.size == 0 {
 		return nil
 	}
@@ -302,8 +385,7 @@ func (q *TenantQueue) Pop() *Request {
 			}
 		}
 	}
-	q.size--
-	return pick.pop()
+	return pick
 }
 
 // ShedExpired removes every queued request whose absolute deadline has
@@ -321,7 +403,7 @@ func (q *TenantQueue) ShedExpired(now time.Duration, drop func(*Request)) {
 				break
 			}
 			q.size--
-			drop(ts.pop())
+			drop(ts.pop().req)
 		}
 	}
 }
@@ -329,9 +411,7 @@ func (q *TenantQueue) ShedExpired(now time.Duration, drop func(*Request)) {
 // Charge accounts cost units of service against a tenant — called when
 // a popped request is actually placed (shed requests are not charged).
 func (q *TenantQueue) Charge(tenant string, cost float64) {
-	ts := q.stateOf(tenant)
-	ts.served += cost
-	q.served += cost
+	q.Ref(tenant).Charge(cost)
 }
 
 // Served reports the cost units charged per tenant (the basis of the

@@ -13,15 +13,16 @@ import (
 
 // The executable determinism matrix: the sharded engine must produce
 // byte-identical serialized Reports across every combination of
-// GOMAXPROCS ∈ {1, 2, 8} and shard count ∈ {1, 2, 4}, against a
+// GOMAXPROCS ∈ {1, 2, 8} and shard count ∈ {1, 2, 4, 8}, against a
 // sequential reference. GOMAXPROCS is the axis the epoch-barrier
 // proof tends to miss in review — a scheduler-order dependence that
 // hides at 8 cores can surface at 1, and vice versa — and CI runs
-// this test under -race, so an unsynchronized cross-shard access
-// fails the job even when the output happens to match.
+// this test under -race, so an unsynchronized cross-shard access (in
+// the barrier, the steal cursors, or the lookahead feeds) fails the
+// job even when the output happens to match.
 
 var matrixGOMAXPROCS = []int{1, 2, 8}
-var matrixShards = []int{1, 2, 4}
+var matrixShards = []int{1, 2, 4, 8}
 
 // marshalReport serializes a Report canonically (JSON with sorted map
 // keys, indented for a readable diff on failure).
@@ -89,6 +90,35 @@ func TestDeterminismMatrixManaged(t *testing.T) {
 			t.Fatal(err)
 		}
 		trace := workload.GenMultiTenant(workload.DefaultMultiTenant(6*time.Second, 3, 37))
+		var rep *Report
+		if shards == 0 {
+			rep, err = cl.Run(trace)
+		} else {
+			rep, err = cl.RunSharded(trace, shards)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	})
+}
+
+// TestDeterminismMatrixManagedLookahead drives the bounded-lookahead
+// engine — Quantum epochs, reservation feeds, work stealing across an
+// 8-instance fleet so shards=8 runs unclamped — through the matrix.
+func TestDeterminismMatrixManagedLookahead(t *testing.T) {
+	runMatrix(t, "managed/lookahead", func(shards int) *Report {
+		cfg := SchedulingConfig{
+			Tenants:   tenantClasses(),
+			FairShare: true,
+			HighWater: 4,
+			Lookahead: &LookaheadConfig{Quantum: 50 * time.Millisecond},
+		}
+		cl, err := NewManagedCluster(8, NewLeastLoaded(), cfg, managedBuild(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := workload.GenMultiTenant(workload.DefaultMultiTenant(4*time.Second, 10, 37))
 		var rep *Report
 		if shards == 0 {
 			rep, err = cl.Run(trace)

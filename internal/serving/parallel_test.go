@@ -113,6 +113,108 @@ func TestShardedManagedBitIdentical(t *testing.T) {
 	}
 }
 
+// TestShardedManagedLookaheadBitIdentical exercises the bounded-
+// lookahead engine in its target regime — a saturated managed fleet —
+// and checks the sharded runs are bit-identical to the sequential
+// reference (which runs the same engine inline). Saturation is
+// asserted, not assumed: a trace that never backs up the queue would
+// leave the Quantum-epoch path untested.
+func TestShardedManagedLookaheadBitIdentical(t *testing.T) {
+	for _, fair := range []bool{true, false} {
+		for _, seed := range []int64{11, 42} {
+			run := func(shards int) *Report {
+				cfg := SchedulingConfig{
+					Tenants:   tenantClasses(),
+					FairShare: fair,
+					HighWater: 4,
+					Lookahead: &LookaheadConfig{Quantum: 50 * time.Millisecond},
+				}
+				cl, err := NewManagedCluster(4, NewLeastLoaded(), cfg, managedBuild(t))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if mode := cl.planShards(); mode != shardManagedLookahead {
+					t.Fatalf("planner classified mode %d, want managed-lookahead", mode)
+				}
+				trace := workload.GenMultiTenant(workload.DefaultMultiTenant(6*time.Second, 6, seed))
+				var rep *Report
+				if shards == 0 {
+					rep, err = cl.Run(trace)
+				} else {
+					rep, err = cl.RunSharded(trace, shards)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			want := run(0)
+			if want.Shed == 0 {
+				t.Fatalf("fair=%v seed=%d: workload never saturates the queue", fair, seed)
+			}
+			for _, shards := range shardCounts {
+				got := run(shards)
+				checkReportIdentical(t, want, got,
+					fmt.Sprintf("lookahead/fair=%v/seed=%d/shards=%d", fair, seed, shards))
+			}
+		}
+	}
+}
+
+// TestLookaheadConfigValidation pins the constructor's compatibility
+// matrix: lookahead's reservation proof requires a fixed fleet, no
+// shared store, and no preemption, so those combinations must be
+// rejected at build time rather than diverging at run time.
+func TestLookaheadConfigValidation(t *testing.T) {
+	la := &LookaheadConfig{}
+	base := SchedulingConfig{Tenants: tenantClasses(), FairShare: true, HighWater: 4, Lookahead: la}
+
+	with := base
+	with.Autoscale = &AutoscaleConfig{Min: 1, Max: 4}
+	if _, err := NewManagedCluster(2, NewLeastLoaded(), with, managedBuild(t)); err == nil {
+		t.Fatal("Lookahead+Autoscale must be rejected")
+	}
+
+	model := lmm.QwenVL7B()
+	adapters := lora.MakeUniformAdapters(model, 4, model.DefaultRank)
+	store := registry.NewStore(registry.Config{
+		HostCapacity:    10 * adapters[0].Bytes(),
+		RemoteLatency:   5 * time.Millisecond,
+		RemoteBandwidth: 2.5e9,
+	}, registry.CatalogFromAdapters(adapters, nil))
+	with = base
+	with.Store = store
+	if _, err := NewManagedCluster(2, NewLeastLoaded(), with, managedBuild(t)); err == nil {
+		t.Fatal("Lookahead+Store must be rejected")
+	}
+
+	preemptBuild := func(int) (Options, error) {
+		opts, err := SystemOptions(SystemVaLoRA, simgpu.A100(), model)
+		if err != nil {
+			return Options{}, err
+		}
+		opts.Preemption = &PreemptionConfig{MaxPreemptions: 2}
+		return opts, nil
+	}
+	if _, err := NewManagedCluster(2, NewLeastLoaded(), base, preemptBuild); err == nil {
+		t.Fatal("Lookahead+Preemption must be rejected")
+	}
+
+	// The valid configuration applies defaults: Slots from HighWater,
+	// a non-zero Quantum.
+	cl, err := NewManagedCluster(2, NewLeastLoaded(), base, managedBuild(t))
+	if err != nil {
+		t.Fatalf("valid lookahead config rejected: %v", err)
+	}
+	got := cl.sched.Lookahead
+	if got.Slots != 4 || got.Quantum <= 0 {
+		t.Fatalf("defaults not applied: %+v", got)
+	}
+	if la.Slots != 0 {
+		t.Fatal("caller's LookaheadConfig must not be mutated")
+	}
+}
+
 // TestShardedCoupledConfigsDelegate pins the planner's conservative
 // side: preemption, autoscaling and the shared registry store make
 // every instance step a potential coupling point, so RunSharded must

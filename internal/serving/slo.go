@@ -86,6 +86,35 @@ type SchedulingConfig struct {
 	// PrefetchLookahead caps the prefetcher's in-flight fetches
 	// (0 disables prefetching).
 	PrefetchLookahead int
+	// Lookahead, when set, opts the cluster into bounded-lookahead
+	// admission: placement is decided only at epoch barriers, where the
+	// coordinator reserves up to Slots placements per instance and
+	// pre-routes them as private feed deliveries, each consumed the
+	// moment its instance drops below HighWater. Epochs stay coarse
+	// (arrival-to-arrival, or Quantum while the queue holds work)
+	// instead of collapsing to exact global-order stepping under
+	// backlog, so sharded managed runs keep their parallelism at
+	// saturation — the regime the sharded engine previously lost.
+	// The sequential engine honours the same semantics, so reports
+	// stay bit-identical across shard counts. Incompatible with
+	// Autoscale, Store, and instance-level Preemption (their coupling
+	// defeats the reservation proof); NewManagedCluster rejects such
+	// combinations.
+	Lookahead *LookaheadConfig
+}
+
+// LookaheadConfig tunes bounded-lookahead admission (see
+// SchedulingConfig.Lookahead).
+type LookaheadConfig struct {
+	// Slots caps how many placements the coordinator may reserve per
+	// instance per epoch, beyond the HighWater in-flight bound that
+	// gates their delivery. Default: HighWater.
+	Slots int
+	// Quantum bounds an epoch's virtual-time length while the cluster
+	// queue still holds unreserved work; larger quanta amortize more
+	// parallel step work per barrier at the cost of coarser placement
+	// revision. Default 20ms.
+	Quantum time.Duration
 }
 
 // ServiceFloor builds an admission-time lower bound on a request's
@@ -123,6 +152,27 @@ func NewManagedCluster(n int, dispatch DispatchPolicy, cfg SchedulingConfig, bui
 	if cfg.Autoscale != nil {
 		as := cfg.Autoscale.withDefaults()
 		cfg.Autoscale = &as
+	}
+	if cfg.Lookahead != nil {
+		if cfg.Autoscale != nil {
+			return nil, fmt.Errorf("serving: Lookahead is incompatible with Autoscale (fleet changes invalidate epoch reservations)")
+		}
+		if cfg.Store != nil {
+			return nil, fmt.Errorf("serving: Lookahead is incompatible with a shared registry Store (the link model serializes instances)")
+		}
+		for i, srv := range c.servers {
+			if srv.opts.Preemption != nil {
+				return nil, fmt.Errorf("serving: Lookahead is incompatible with instance preemption (instance %d): requeues would cross epoch reservations", i)
+			}
+		}
+		la := *cfg.Lookahead
+		if la.Slots <= 0 {
+			la.Slots = cfg.HighWater
+		}
+		if la.Quantum <= 0 {
+			la.Quantum = 20 * time.Millisecond
+		}
+		cfg.Lookahead = &la
 	}
 	c.build = build
 	c.sched = &cfg

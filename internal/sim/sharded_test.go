@@ -17,7 +17,8 @@ type shardProc struct {
 	rem   int
 	iter  time.Duration
 	log   []string
-	shard *Shard // when set, every step also emits to the shard outbox
+	shard *Shard // when set, every step also emits to the proc's outbox
+	pidx  int    // shard-local index, for EmitProc
 }
 
 type shardJob struct {
@@ -56,7 +57,7 @@ func (p *shardProc) Step() (bool, error) {
 	p.rem--
 	p.log = append(p.log, fmt.Sprintf("p%d@%v", p.id, p.clock))
 	if p.shard != nil {
-		p.shard.Emit(p.clock, fmt.Sprintf("done p%d@%v", p.id, p.clock))
+		p.shard.EmitProc(p.pidx, p.clock, fmt.Sprintf("done p%d@%v", p.id, p.clock))
 	}
 	return true, nil
 }
@@ -226,7 +227,8 @@ func TestShardEpochBarriers(t *testing.T) {
 }
 
 // TestOutboxCanonicalOrder checks DrainOutboxes yields the
-// (At, Shard, Seq) merge regardless of worker interleaving.
+// (At, Shard, Proc, Seq) merge regardless of worker interleaving or
+// which worker (home or thief) advanced a process.
 func TestOutboxCanonicalOrder(t *testing.T) {
 	jobs := genJobs(4)
 	var first []Mail
@@ -235,7 +237,7 @@ func TestOutboxCanonicalOrder(t *testing.T) {
 		shards := []*Shard{NewShard(0), NewShard(1)}
 		for i, p := range procs {
 			p.shard = shards[i%2]
-			p.shard.Add(p, &jobFeed{proc: p, jobs: jobs[i]})
+			p.pidx = p.shard.Add(p, &jobFeed{proc: p, jobs: jobs[i]})
 		}
 		g := NewShardGroup(shards...)
 		g.Start()
@@ -243,12 +245,12 @@ func TestOutboxCanonicalOrder(t *testing.T) {
 			t.Fatal(err)
 		}
 		g.Stop()
-		mail := g.DrainOutboxes()
+		// DrainOutboxes returns the group's reusable buffer; copy to
+		// compare across rounds.
+		mail := append([]Mail(nil), g.DrainOutboxes()...)
 		for i := 1; i < len(mail); i++ {
-			a, b := mail[i-1], mail[i]
-			if a.At > b.At || (a.At == b.At && a.Shard > b.Shard) ||
-				(a.At == b.At && a.Shard == b.Shard && a.Seq >= b.Seq) {
-				t.Fatalf("round %d: mail %d and %d out of canonical order: %+v then %+v", round, i-1, i, a, b)
+			if !mailLess(mail[i-1], mail[i]) {
+				t.Fatalf("round %d: mail %d and %d out of canonical order: %+v then %+v", round, i-1, i, mail[i-1], mail[i])
 			}
 		}
 		if round == 0 {
@@ -272,14 +274,17 @@ type errProc struct{ id int }
 func (p *errProc) NextEventAt() time.Duration { return time.Millisecond }
 func (p *errProc) Step() (bool, error)        { return false, fmt.Errorf("proc %d boom", p.id) }
 
-// TestAdvanceAllDeterministicError checks the lowest-ID failing shard
-// wins regardless of scheduling.
+// TestAdvanceAllDeterministicError checks the failing process with the
+// lowest (shard, process) identity wins regardless of scheduling —
+// every shard here fails concurrently, and within a shard two
+// processes fail, so both tiers of the tie-break are exercised.
 func TestAdvanceAllDeterministicError(t *testing.T) {
 	for round := 0; round < 5; round++ {
 		shards := make([]*Shard, 4)
 		for i := range shards {
 			shards[i] = NewShard(i)
-			shards[i].Add(&errProc{id: i}, nil)
+			shards[i].Add(&errProc{id: i * 10}, nil)
+			shards[i].Add(&errProc{id: i*10 + 1}, nil)
 		}
 		g := NewShardGroup(shards...)
 		g.Start()
@@ -288,6 +293,142 @@ func TestAdvanceAllDeterministicError(t *testing.T) {
 		if err == nil || err.Error() != "proc 0 boom" {
 			t.Fatalf("round %d: got error %v, want proc 0's", round, err)
 		}
+	}
+}
+
+// TestAdvanceAllInlineError checks the stopped-group (inline) path
+// reports the same deterministic error as the live path.
+func TestAdvanceAllInlineError(t *testing.T) {
+	shards := make([]*Shard, 3)
+	for i := range shards {
+		shards[i] = NewShard(i)
+		shards[i].Add(&errProc{id: i}, nil)
+	}
+	g := NewShardGroup(shards...)
+	if err := g.AdvanceAll(Never); err == nil || err.Error() != "proc 0 boom" {
+		t.Fatalf("inline: got error %v, want proc 0's", err)
+	}
+}
+
+// TestShardGroupLifecycle drives the same workload through a mix of
+// live and stopped phases: Start idempotence, Stop → inline fallback
+// mid-run, and restart after Stop must all leave the observable
+// history bit-identical to the sequential reference.
+func TestShardGroupLifecycle(t *testing.T) {
+	jobs := genJobs(6)
+	want := runSequential(t, jobs)
+
+	procs := newProcs(len(jobs), 2*time.Millisecond)
+	shards := []*Shard{NewShard(0), NewShard(1), NewShard(2)}
+	for i, p := range procs {
+		shards[i%3].Add(p, &jobFeed{proc: p, jobs: jobs[i]})
+	}
+	g := NewShardGroup(shards...)
+
+	g.Start()
+	g.Start() // idempotent: second Start must not double the workers
+	if err := g.AdvanceAll(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	g.Stop()
+	g.Stop() // idempotent
+	// Stopped group: AdvanceAll falls back to inline advancement.
+	if err := g.AdvanceAll(40 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Restart after Stop resumes parallel epochs.
+	g.Start()
+	if err := g.AdvanceAll(Never); err != nil {
+		t.Fatal(err)
+	}
+	g.Stop()
+	checkSameLogs(t, want, procs, "lifecycle")
+}
+
+// TestWorkStealingUnevenShards loads one shard with almost all of the
+// work so the steal path must carry it: with 2 shards and 7 of 8 procs
+// on shard 0, the run only matches the sequential reference if thieves
+// advance processes they don't own without breaking per-process state
+// or outbox order.
+func TestWorkStealingUnevenShards(t *testing.T) {
+	jobs := genJobs(8)
+	want := runSequential(t, jobs)
+
+	procs := newProcs(len(jobs), 2*time.Millisecond)
+	heavy, light := NewShard(0), NewShard(1)
+	for i, p := range procs {
+		sh := heavy
+		if i == len(procs)-1 {
+			sh = light
+		}
+		p.shard = sh
+		p.pidx = sh.Add(p, &jobFeed{proc: p, jobs: jobs[i]})
+	}
+	g := NewShardGroup(heavy, light)
+	g.Start()
+	defer g.Stop()
+	// Many epochs, so steal cursors are reset and re-raced repeatedly.
+	for h := 5 * time.Millisecond; ; h += 5 * time.Millisecond {
+		if err := g.AdvanceAll(h); err != nil {
+			t.Fatal(err)
+		}
+		if g.NextAt() == Never {
+			break
+		}
+	}
+	if err := g.AdvanceAll(Never); err != nil {
+		t.Fatal(err)
+	}
+	checkSameLogs(t, want, procs, "steal uneven")
+	mail := g.DrainOutboxes()
+	for i := 1; i < len(mail); i++ {
+		if !mailLess(mail[i-1], mail[i]) {
+			t.Fatalf("mail %d and %d out of canonical order: %+v then %+v", i-1, i, mail[i-1], mail[i])
+		}
+	}
+}
+
+// TestMailboxDrainReusesCapacity gates the barrier-path allocation
+// contract: once a box and the group merge buffer have grown, an
+// emit → drain cycle allocates nothing.
+func TestMailboxDrainReusesCapacity(t *testing.T) {
+	sh := NewShard(0)
+	p := &shardProc{id: 0, iter: time.Millisecond}
+	p.shard, p.pidx = sh, sh.Add(p, nil)
+	g := NewShardGroup(sh)
+
+	emit := func() {
+		for i := 0; i < 16; i++ {
+			sh.EmitProc(0, time.Duration(16-i)*time.Millisecond, i)
+		}
+	}
+	// Warm the buffers, then measure.
+	emit()
+	g.DrainOutboxes()
+	allocs := testing.AllocsPerRun(100, func() {
+		emit()
+		if got := g.DrainOutboxes(); len(got) != 16 {
+			t.Fatalf("drained %d items, want 16", len(got))
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("emit+DrainOutboxes allocated %.1f times per run, want 0", allocs)
+	}
+
+	emit()
+	box := &sh.outs[0]
+	first := box.Drain()
+	if len(first) != 16 {
+		t.Fatalf("Drain returned %d items, want 16", len(first))
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		emit()
+		if got := box.Drain(); len(got) != 16 {
+			t.Fatalf("drained %d items, want 16", len(got))
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("emit+Drain allocated %.1f times per run, want 0", allocs)
 	}
 }
 
