@@ -1,0 +1,145 @@
+// Command valora-calibrate closes the observe–predict–calibrate loop:
+// it loads a captured per-request trace (JSONL, from valora-server's
+// /v1/trace or a bench capture), fits the simulator's cost-model
+// coefficients by least squares, re-simulates the trace under the
+// fitted model, and reports per-metric prediction error — the
+// simulator's numbers checked against data instead of asserted.
+//
+// Usage:
+//
+//	valora-calibrate -trace capture.jsonl             fit + scorecard
+//	valora-calibrate -capture capture.jsonl           synthesize a capture
+//	valora-calibrate -capture c.jsonl -trace c.jsonl  capture, then calibrate it
+//
+// With -max-err E the command exits non-zero when any scorecard
+// metric's relative error exceeds E (CI gate).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"valora/internal/calib"
+	"valora/internal/lmm"
+	"valora/internal/serving"
+	"valora/internal/simgpu"
+	"valora/internal/trace"
+	"valora/internal/workload"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "captured trace (JSONL) to calibrate against")
+		capture   = flag.String("capture", "", "run a known-config simulation and write its capture here")
+		system    = flag.String("system", "VaLoRA", "system kind for -capture (VaLoRA | S-LoRA | Punica | dLoRA)")
+		app       = flag.String("app", "retrieval", "workload for -capture (retrieval | video)")
+		rate      = flag.Float64("rate", 4, "request rate (retrieval req/s or video streams) for -capture")
+		seconds   = flag.Int("seconds", 30, "workload duration for -capture")
+		adapters  = flag.Int("adapters", 8, "adapter count for -capture")
+		skew      = flag.Float64("skew", 0.6, "adapter popularity skew for -capture")
+		seed      = flag.Int64("seed", 7, "workload seed for -capture")
+		maxErr    = flag.Float64("max-err", 0, "fail when any metric's relative error exceeds this (0 = report only)")
+		asJSON    = flag.Bool("json", false, "machine-readable output")
+	)
+	flag.Parse()
+	if *traceFile == "" && *capture == "" {
+		fmt.Fprintln(os.Stderr, "valora-calibrate: need -trace and/or -capture")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *capture != "" {
+		if err := runCapture(*capture, *system, *app, *rate, *seconds, *adapters, *skew, *seed); err != nil {
+			fatal(err)
+		}
+		if !*asJSON {
+			fmt.Printf("captured %s run (%s, rate %g, %ds, %d adapters, seed %d) -> %s\n",
+				*system, *app, *rate, *seconds, *adapters, *seed, *capture)
+		}
+		if *traceFile == "" {
+			return
+		}
+	}
+
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		fatal(err)
+	}
+	rows, err := trace.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	coeffs, err := calib.Fit(rows)
+	if err != nil {
+		fatal(err)
+	}
+	scorecard := calib.Evaluate(rows, coeffs)
+	worst := calib.MaxRelErr(scorecard)
+
+	if *asJSON {
+		_ = json.NewEncoder(os.Stdout).Encode(map[string]any{
+			"coefficients":  coeffs,
+			"scorecard":     scorecard,
+			"worst_rel_err": worst,
+		})
+	} else {
+		fmt.Printf("fitted cost model (%d rows):\n", coeffs.Rows)
+		fmt.Printf("  prefill: %.3f ms + %.4f ms/token + %.3f ms/image + %.3f ms cold penalty\n",
+			coeffs.PrefillBaseMS, coeffs.PrefillPerTokenMS, coeffs.PrefillPerImageMS, coeffs.ColdPenaltyMS)
+		fmt.Printf("  decode:  %.3f ms + %.4f ms/token + %.4f ms/recompute-token\n",
+			coeffs.DecodeBaseMS, coeffs.DecodePerTokenMS, coeffs.RecomputePerTokenMS)
+		fmt.Println("re-simulated prediction error:")
+		for _, m := range scorecard {
+			fmt.Printf("  %-9s observed %9.2f ms  predicted %9.2f ms  rel err %5.2f%%\n",
+				m.Name, m.ObservedMS, m.PredictedMS, 100*m.RelErr)
+		}
+	}
+	if *maxErr > 0 && worst > *maxErr {
+		fmt.Fprintf(os.Stderr, "valora-calibrate: worst relative error %.2f%% exceeds the %.2f%% gate\n",
+			100*worst, 100**maxErr)
+		os.Exit(1)
+	}
+}
+
+// runCapture replays a synthesized workload on a fresh known-config
+// engine with a trace recorder attached and writes the capture.
+func runCapture(path, system, app string, rate float64, seconds, adapters int, skew float64, seed int64) error {
+	kind, err := serving.SystemByName(system)
+	if err != nil {
+		return err
+	}
+	srv, err := serving.NewSystem(kind, simgpu.A100(), lmm.QwenVL7B())
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder()
+	srv.SetTraceRecorder(rec)
+	dur := time.Duration(seconds) * time.Second
+	var tr workload.Trace
+	if app == "video" {
+		tr = workload.GenVideo(workload.DefaultVideo(int(rate), dur, adapters, skew, seed))
+	} else {
+		tr = workload.GenRetrieval(workload.DefaultRetrieval(rate, dur, adapters, skew, seed))
+	}
+	if _, err := srv.Run(tr); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "valora-calibrate:", err)
+	os.Exit(1)
+}

@@ -161,6 +161,7 @@ func (s *Suite) All() []Experiment {
 		{"parallel-managed", "bounded-lookahead sharding on the saturated multi-tenant trace", s.ParallelManaged},
 		{"adapter-cold-start", "tiered adapter registry: prefetch + residency quotas vs cold fetches", s.AdapterColdStart},
 		{"preemption-tail", "iteration-level preemption: realtime p99 with vs without displacement", s.PreemptionTail},
+		{"observe-calibrate", "cost-model calibration round-trip from per-request traces", s.ObserveCalibrate},
 		{"fig24", "prefix-cache ablation on multi-round retrieval", s.Fig24PrefixCache},
 		{"switcher", "switcher microbenchmark", s.SwitcherMicro},
 		{"ablation-tiling", "ATMM with static tiling", s.AblationStaticTiling},

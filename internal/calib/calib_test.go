@@ -1,0 +1,107 @@
+package calib
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"valora/internal/trace"
+)
+
+// synthRows generates rows from known ground-truth coefficients so the
+// fit must recover them (near-)exactly.
+func synthRows(n int) []trace.Record {
+	rows := make([]trace.Record, 0, n)
+	for i := 0; i < n; i++ {
+		in := 100 + 37*(i%11)
+		out := 8 + i%23
+		images := i % 3
+		cold := i%7 == 0
+		shared := 0
+		if i%5 == 0 {
+			shared = 64
+		}
+		prefill := 2.0 + 0.05*float64(in-shared) + 1.5*float64(images)
+		if cold {
+			prefill += 40
+		}
+		decode := 1.0 + 3.0*float64(out-1)
+		arrival := time.Duration(i) * 10 * time.Millisecond
+		admission := arrival + time.Duration(float64(i%4)*float64(time.Millisecond))
+		first := admission + time.Duration(prefill*float64(time.Millisecond))
+		finish := first + time.Duration(decode*float64(time.Millisecond))
+		rows = append(rows, trace.Record{
+			ID: int64(i), Adapter: i % 4, Instance: 0,
+			Arrival: arrival, Admission: admission, FirstToken: first, Finish: finish,
+			InputTokens: in, OutputTokens: out, SharedTokens: shared, Images: images,
+			ColdStart: cold,
+		})
+	}
+	return rows
+}
+
+func TestFitRecoversKnownModel(t *testing.T) {
+	rows := synthRows(500)
+	c, err := Fit(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"prefill_base", c.PrefillBaseMS, 2.0},
+		{"prefill_per_token", c.PrefillPerTokenMS, 0.05},
+		{"prefill_per_image", c.PrefillPerImageMS, 1.5},
+		{"cold_penalty", c.ColdPenaltyMS, 40},
+		{"decode_base", c.DecodeBaseMS, 1.0},
+		{"decode_per_token", c.DecodePerTokenMS, 3.0},
+	}
+	for _, ck := range checks {
+		if math.Abs(ck.got-ck.want) > 1e-3*math.Max(1, ck.want) {
+			t.Errorf("%s: fitted %.6f, want %.6f", ck.name, ck.got, ck.want)
+		}
+	}
+	if worst := MaxRelErr(Evaluate(rows, c)); worst > 1e-6 {
+		t.Fatalf("exact synthetic model should round-trip exactly; worst rel err %.3g", worst)
+	}
+}
+
+// TestCollinearDesign fits a capture where every request carries
+// exactly one image (the retrieval generator's shape): the image
+// column is collinear with the intercept and must not blow up the
+// solve or the predictions.
+func TestCollinearDesign(t *testing.T) {
+	rows := synthRows(300)
+	for i := range rows {
+		// Rebuild with images == 1 everywhere, folding the image cost
+		// into the observed span.
+		r := &rows[i]
+		prefill := 2.0 + 0.05*float64(r.InputTokens-r.SharedTokens) + 1.5
+		if r.ColdStart {
+			prefill += 40
+		}
+		r.Images = 1
+		r.FirstToken = r.Admission + time.Duration(prefill*float64(time.Millisecond))
+		r.Finish = r.FirstToken + time.Duration((1.0+3.0*float64(r.OutputTokens-1))*float64(time.Millisecond))
+	}
+	c, err := Fit(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst := MaxRelErr(Evaluate(rows, c)); worst > 0.001 {
+		t.Fatalf("collinear design should still predict; worst rel err %.3g", worst)
+	}
+}
+
+func TestFitRejectsTinyAndNonCausal(t *testing.T) {
+	if _, err := Fit(synthRows(3)); err == nil {
+		t.Fatal("tiny trace should be rejected")
+	}
+	rows := synthRows(20)
+	rows[4].FirstToken = rows[4].Admission - time.Millisecond
+	if _, err := Fit(rows); err == nil {
+		t.Fatal("non-causal timestamps should be rejected")
+	}
+}

@@ -1,0 +1,49 @@
+package calib_test
+
+import (
+	"testing"
+	"time"
+
+	"valora/internal/calib"
+	"valora/internal/lmm"
+	"valora/internal/serving"
+	"valora/internal/simgpu"
+	"valora/internal/trace"
+	"valora/internal/workload"
+)
+
+// TestRoundTripWithinFivePercent is the calibrate acceptance gate:
+// capture a trace from a known-config VaLoRA run, fit coefficients
+// from the capture alone, re-predict every request, and require the
+// predicted TTFT/E2E p50 and p99 to land within 5% of the observed
+// percentiles. The workload is the retrieval generator at a light
+// rate, where batches stay small and the linear cost model is an
+// honest description of the engine.
+func TestRoundTripWithinFivePercent(t *testing.T) {
+	srv, err := serving.NewSystem(serving.SystemVaLoRA, simgpu.A100(), lmm.QwenVL7B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	srv.SetTraceRecorder(rec)
+	tr := workload.GenRetrieval(workload.DefaultRetrieval(4, 30*time.Second, 8, 0.6, 7))
+	if _, err := srv.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	rows := rec.Rows()
+	if len(rows) < 50 {
+		t.Fatalf("capture too small: %d rows", len(rows))
+	}
+	c, err := calib.Fit(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorecard := calib.Evaluate(rows, c)
+	for _, m := range scorecard {
+		t.Logf("%-10s observed %8.2fms predicted %8.2fms rel err %5.2f%%",
+			m.Name, m.ObservedMS, m.PredictedMS, 100*m.RelErr)
+	}
+	if worst := calib.MaxRelErr(scorecard); worst > 0.05 {
+		t.Fatalf("calibration round-trip misses the 5%% gate: worst rel err %.2f%%", 100*worst)
+	}
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+func buildSampleProm() *Prom {
+	p := NewProm()
+	reqs := p.Counter("valora_requests_total", "Total requests completed.",
+		Label{"system", "VaLoRA"})
+	reqs.Add(42)
+	p.Counter("valora_requests_total", "Total requests completed.",
+		Label{"system", "dLoRA"}).Add(7)
+	p.Gauge("valora_adapters_resident", "Adapters resident in GPU memory.").Set(3)
+	h := p.Histogram("valora_ttft_ms", "Time to first token (ms).",
+		[]float64{10, 100, 1000}, Label{"system", "VaLoRA"})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(50)
+	h.Observe(5000)
+	h.ObserveDuration(250 * time.Millisecond)
+	return p
+}
+
+// TestPromGolden pins the text exposition byte-for-byte against
+// testdata/prom.golden. Regenerate with -update-golden after a
+// deliberate format change.
+func TestPromGolden(t *testing.T) {
+	p := buildSampleProm()
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prom.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPromDeterministicOrder registers families and series in two
+// different orders and expects identical output.
+func TestPromDeterministicOrder(t *testing.T) {
+	a := buildSampleProm()
+	b := NewProm()
+	// Reverse registration order.
+	h := b.Histogram("valora_ttft_ms", "Time to first token (ms).",
+		[]float64{10, 100, 1000}, Label{"system", "VaLoRA"})
+	b.Gauge("valora_adapters_resident", "Adapters resident in GPU memory.").Set(3)
+	b.Counter("valora_requests_total", "Total requests completed.",
+		Label{"system", "dLoRA"}).Add(7)
+	b.Counter("valora_requests_total", "Total requests completed.",
+		Label{"system", "VaLoRA"}).Add(42)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(50)
+	h.Observe(5000)
+	h.Observe(250)
+	var bufA, bufB bytes.Buffer
+	if err := a.Write(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatalf("registration order leaked into exposition:\n%s\nvs\n%s", bufA.String(), bufB.String())
+	}
+}
+
+// TestPromMonotonicReRegistration re-registers the same series (as a
+// recycled live engine would) and expects the counter to keep its
+// total rather than reset.
+func TestPromMonotonicReRegistration(t *testing.T) {
+	p := NewProm()
+	c1 := p.Counter("valora_requests_total", "Total requests completed.", Label{"system", "VaLoRA"})
+	c1.Add(10)
+	c2 := p.Counter("valora_requests_total", "Total requests completed.", Label{"system", "VaLoRA"})
+	c2.Add(5)
+	if got := c1.Value(); got != 15 {
+		t.Fatalf("re-registered counter lost its total: got %v, want 15", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	p := NewProm()
+	h := p.Histogram("x", "h.", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	if h.Count() != 3 {
+		t.Fatalf("count %d", h.Count())
+	}
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP x h.\n# TYPE x histogram\n" +
+		"x_bucket{le=\"1\"} 1\nx_bucket{le=\"10\"} 2\nx_bucket{le=\"+Inf\"} 3\n" +
+		"x_sum 55.5\nx_count 3\n"
+	if buf.String() != want {
+		t.Fatalf("histogram exposition:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestPromHotpathAllocs pins Inc/Add/Set/Observe to zero allocations.
+func TestPromHotpathAllocs(t *testing.T) {
+	p := NewProm()
+	c := p.Counter("c", "c.")
+	g := p.Gauge("g", "g.")
+	h := p.Histogram("h", "h.", DefaultLatencyBuckets())
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(); c.Add(2) }); n > 0 {
+		t.Fatalf("Counter hot path allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(4.2) }); n > 0 {
+		t.Fatalf("Gauge.Set allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(17); h.ObserveDuration(3 * time.Millisecond) }); n > 0 {
+		t.Fatalf("Histogram hot path allocates %.1f/op", n)
+	}
+}
+
+// TestPromConcurrentScrape hammers updates from several goroutines
+// while scraping; run under -race this is the collector's safety
+// proof.
+func TestPromConcurrentScrape(t *testing.T) {
+	p := NewProm()
+	c := p.Counter("c", "c.")
+	h := p.Histogram("h", "h.", []float64{1, 10, 100})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j % 200))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			var buf bytes.Buffer
+			if err := p.Write(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := c.Value(); got != 4000 {
+		t.Fatalf("lost updates: counter %v, want 4000", got)
+	}
+	if h.Count() != 4000 {
+		t.Fatalf("lost observations: %d, want 4000", h.Count())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	p := NewProm()
+	p.Counter("x", "x.")
+	p.Gauge("x", "x.")
+}

@@ -70,6 +70,11 @@ type Request struct {
 	// deadline mix cannot bounce a victim between instances forever.
 	PreemptCount  int
 	Unpreemptable bool
+	// RecomputeTokens accumulates the already-computed tokens those
+	// preemptions threw away (prompt plus emitted tokens re-prefilled on
+	// resume) — per-request observability for trace capture, summed
+	// across instances when a request migrates.
+	RecomputeTokens int
 
 	// Runtime state, owned by the server.
 	Phase       Phase
@@ -157,6 +162,7 @@ func (r *Request) Slack(now time.Duration) time.Duration {
 func (r *Request) ResetRuntime() {
 	r.PreemptCount = 0
 	r.Unpreemptable = false
+	r.RecomputeTokens = 0
 	r.Phase = PhaseQueued
 	r.PrefillDone = false
 	r.ColdStart = false

@@ -7,6 +7,7 @@ import (
 	"valora/internal/metrics"
 	"valora/internal/sched"
 	"valora/internal/sim"
+	"valora/internal/trace"
 	"valora/internal/workload"
 )
 
@@ -27,6 +28,20 @@ type Cluster struct {
 	// keeps the original stateless-dispatch behavior exactly.
 	sched *SchedulingConfig
 	build func(i int) (Options, error)
+
+	// traceRec, when set, is installed on every instance — including
+	// ones the autoscaler creates mid-run — so per-request trace capture
+	// covers the whole fleet with one shared recorder.
+	traceRec *trace.Recorder
+}
+
+// SetTraceRecorder installs a shared per-request trace sink on every
+// current instance and on any instance the autoscaler adds later.
+func (c *Cluster) SetTraceRecorder(rec *trace.Recorder) {
+	c.traceRec = rec
+	for _, srv := range c.servers {
+		srv.SetTraceRecorder(rec)
+	}
 }
 
 // NewCluster builds n identical instances from an options factory

@@ -2,32 +2,50 @@ package serving
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 	"time"
 
 	"valora/internal/lmm"
+	"valora/internal/metrics"
 	"valora/internal/sched"
 	"valora/internal/simgpu"
+	"valora/internal/trace"
 	"valora/internal/train"
 	"valora/internal/workload"
 )
 
-// Frontend is the demo HTTP interface of cmd/valora-server (the
-// RPyC-style streaming frontend of §5, reduced to JSON-over-HTTP). It
-// holds one persistent serving engine per system kind: single
-// inference requests are submitted into the live engine (whose virtual
-// clock, prefix cache and adapter residency carry across requests) and
-// stepped to completion, so consecutive requests see warmed state the
-// way a long-running server would. Replay jobs run a whole trace as an
-// isolated batch experiment on a fresh engine.
+// Frontend is the HTTP interface of cmd/valora-server (the RPyC-style
+// streaming frontend of §5, reduced to JSON-over-HTTP plus an
+// OpenAI-compatible surface). It holds one persistent serving engine
+// per system kind: single inference requests are submitted into the
+// live engine (whose virtual clock, prefix cache and adapter residency
+// carry across requests) and stepped to completion, so consecutive
+// requests see warmed state the way a long-running server would.
+// Replay jobs run a whole trace as an isolated batch experiment on a
+// fresh engine.
+//
+// Routes:
+//
+//	POST /v1/chat/completions  OpenAI chat (stream=true for SSE)
+//	POST /v1/completions       OpenAI legacy completions
+//	GET  /v1/models            registered adapters as models
+//	GET  /metrics              Prometheus text exposition
+//	GET  /v1/trace             captured per-request trace (JSONL)
+//	POST /v1/requests          native single-request API
+//	POST /v1/replay            isolated whole-trace experiments
+//	GET  /v1/model             model/system card
+//	GET  /healthz              liveness
 //
 // net/http serves handlers concurrently; mu guards the shared scalar
-// state (sequence counter, replay seed) and the engine map, while each
-// live engine carries its own lock — the step-wise engine is
+// state (sequence counter, replay seed) and the engine list, while
+// each live engine carries its own lock — the step-wise engine is
 // single-threaded by design, but requests to different systems
-// proceed concurrently.
+// proceed concurrently. The metrics collector and trace recorder are
+// frontend-owned and outlive any single engine, so cumulative series
+// survive live-engine recycling.
 type Frontend struct {
 	Kind  SystemKind
 	GPU   *simgpu.GPU
@@ -35,25 +53,90 @@ type Frontend struct {
 
 	mux *http.ServeMux
 
-	mu        sync.Mutex
-	seq       int64
-	seed      int64
-	instances map[SystemKind]*liveEngine // persistent live engines
+	mu       sync.Mutex
+	seq      int64
+	seed     int64
+	engines  []*liveEngine // persistent live engines, one per kind
+	liveCap  int
+	adapters []AdapterCard
+	slo      []*sloTrack
+
+	prom     *metrics.Prom
+	traceRec *trace.Recorder
+}
+
+// AdapterCard is one registered adapter, listed by /v1/models and
+// addressable as an OpenAI "model" by name.
+type AdapterCard struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
 }
 
 // liveEngine is one persistent engine plus the lock serializing its
-// single-threaded stepping.
+// single-threaded stepping. lastSwapIns/lastSwapBytes/lastSwapStall
+// remember the engine totals already folded into the frontend's
+// cumulative swap counters, so scrape-time folding adds only the
+// delta and a retiring engine's final state is never lost.
 type liveEngine struct {
 	mu     sync.Mutex
+	kind   SystemKind
 	srv    *Server
 	served int
+	met    *engineMetrics
+
+	lastSwapIns   int
+	lastSwapBytes int64
+	lastSwapStall time.Duration
+}
+
+// engineMetrics caches one system's metric handles. The handles
+// resolve to the same underlying series when an engine is recycled
+// (same family, same labels), which is what keeps every counter
+// monotonic across recycling.
+type engineMetrics struct {
+	requests    *metrics.Counter
+	rejected    *metrics.Counter
+	tokensIn    *metrics.Counter
+	tokensOut   *metrics.Counter
+	coldStarts  *metrics.Counter
+	preemptions *metrics.Counter
+	swapIns     *metrics.Counter
+	swapBytes   *metrics.Counter
+	swapStall   *metrics.Counter
+	recycles    *metrics.Counter
+
+	ttft      *metrics.PromHistogram
+	e2e       *metrics.PromHistogram
+	queueWait *metrics.PromHistogram
+
+	resident  *metrics.Gauge
+	virtualMS *metrics.Gauge
+}
+
+// sloTrack accumulates one (system, tenant) deadline attainment ratio
+// behind its gauge. Frontend-owned, so it too survives recycling.
+type sloTrack struct {
+	kind   SystemKind
+	tenant string
+	met    int
+	total  int
+	gauge  *metrics.Gauge
 }
 
 // liveEngineRequestCap bounds how many requests one live engine serves
 // before being recycled with a fresh one: the engine's metric streams
 // retain every latency sample for exact percentiles, so an unbounded
-// lifetime would leak memory under sustained traffic.
+// lifetime would leak memory under sustained traffic. Cumulative
+// /metrics series live on the frontend, not the engine, and are
+// carried across the recycle.
 const liveEngineRequestCap = 100000
+
+// Per-request work bounds: the engine simulates one Step per output
+// token while holding its engine lock.
+const (
+	maxInputTokens  = 1 << 20
+	maxOutputTokens = 4096
+)
 
 // NewFrontend builds the HTTP handler for a system/model pair. kind is
 // the default system; requests may select another with the "system"
@@ -61,13 +144,19 @@ const liveEngineRequestCap = 100000
 func NewFrontend(kind SystemKind, g *simgpu.GPU, model lmm.Config) *Frontend {
 	f := &Frontend{
 		Kind: kind, GPU: g, Model: model,
-		mux:       http.NewServeMux(),
-		seed:      1,
-		instances: make(map[SystemKind]*liveEngine),
+		mux:     http.NewServeMux(),
+		seed:    1,
+		liveCap: liveEngineRequestCap,
+		prom:    metrics.NewProm(),
 	}
 	f.mux.HandleFunc("/v1/model", f.handleModel)
 	f.mux.HandleFunc("/v1/requests", f.handleRequest)
 	f.mux.HandleFunc("/v1/replay", f.handleReplay)
+	f.mux.HandleFunc("/v1/chat/completions", f.handleChatCompletions)
+	f.mux.HandleFunc("/v1/completions", f.handleCompletions)
+	f.mux.HandleFunc("/v1/models", f.handleModels)
+	f.mux.HandleFunc("/metrics", f.handleMetrics)
+	f.mux.HandleFunc("/v1/trace", f.handleTrace)
 	f.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -77,19 +166,247 @@ func NewFrontend(kind SystemKind, g *simgpu.GPU, model lmm.Config) *Frontend {
 // ServeHTTP dispatches to the frontend's routes.
 func (f *Frontend) ServeHTTP(w http.ResponseWriter, r *http.Request) { f.mux.ServeHTTP(w, r) }
 
+// SetLiveRequestCap overrides the per-engine recycle threshold
+// (testing knob; the default keeps sample retention bounded under
+// sustained traffic).
+func (f *Frontend) SetLiveRequestCap(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n > 0 {
+		f.liveCap = n
+	}
+}
+
+// SetTraceRecorder installs a per-request trace sink: every request
+// completed by a live engine (current and future, across recycles)
+// appends one trace.Record, and GET /v1/trace serves the capture as
+// JSONL.
+func (f *Frontend) SetTraceRecorder(rec *trace.Recorder) {
+	f.mu.Lock()
+	f.traceRec = rec
+	engines := append([]*liveEngine(nil), f.engines...)
+	f.mu.Unlock()
+	for _, eng := range engines {
+		eng.mu.Lock()
+		eng.srv.SetTraceRecorder(rec)
+		eng.mu.Unlock()
+	}
+}
+
+// TraceRecorder reports the installed trace sink (nil when tracing is
+// off).
+func (f *Frontend) TraceRecorder() *trace.Recorder {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.traceRec
+}
+
+// Metrics exposes the frontend's collector (the /metrics backing
+// store) for tests and embedding servers.
+func (f *Frontend) Metrics() *metrics.Prom { return f.prom }
+
+// RegisterAdapters names the frontend's serveable adapters. Position
+// is identity: the i-th name is adapter ID i, matching the adapter
+// IDs native requests address directly. /v1/models lists them and
+// OpenAI requests select one by model name.
+func (f *Frontend) RegisterAdapters(names ...string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.adapters = f.adapters[:0]
+	for i, n := range names {
+		f.adapters = append(f.adapters, AdapterCard{ID: i, Name: n})
+	}
+}
+
+// Adapters reports the registered adapter cards.
+func (f *Frontend) Adapters() []AdapterCard {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]AdapterCard(nil), f.adapters...)
+}
+
+// adapterByModel resolves an OpenAI model name: the base model (or
+// empty) maps to adapter 0, a registered adapter name to its ID.
+func (f *Frontend) adapterByModel(model string) (int, bool) {
+	if model == "" || model == f.Model.Name {
+		return 0, true
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, a := range f.adapters {
+		if a.Name == model {
+			return a.ID, true
+		}
+	}
+	return 0, false
+}
+
+// nextID allocates a request ID.
+func (f *Frontend) nextID() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	return f.seq
+}
+
+// metricsFor registers (or re-resolves) the per-system metric
+// handles.
+func (f *Frontend) metricsFor(kind SystemKind) *engineMetrics {
+	sys := metrics.Label{Name: "system", Value: string(kind)}
+	lat := metrics.DefaultLatencyBuckets()
+	return &engineMetrics{
+		requests:    f.prom.Counter("valora_requests_total", "Requests completed by the live engines.", sys),
+		rejected:    f.prom.Counter("valora_requests_rejected_total", "Requests rejected (prompt exceeds the KV cache).", sys),
+		tokensIn:    f.prom.Counter("valora_tokens_in_total", "Prompt tokens of completed requests.", sys),
+		tokensOut:   f.prom.Counter("valora_tokens_out_total", "Generated tokens of completed requests.", sys),
+		coldStarts:  f.prom.Counter("valora_cold_starts_total", "Completed requests whose adapter required a remote fetch.", sys),
+		preemptions: f.prom.Counter("valora_preemptions_total", "Mid-service displacements absorbed by completed requests.", sys),
+		swapIns:     f.prom.Counter("valora_adapter_swap_ins_total", "Adapter swap-ins into the GPU pool.", sys),
+		swapBytes:   f.prom.Counter("valora_adapter_swap_bytes_total", "Bytes moved by adapter swap-ins.", sys),
+		swapStall:   f.prom.Counter("valora_adapter_swap_stall_ms_total", "Milliseconds of compute stalled on synchronous swaps.", sys),
+		recycles:    f.prom.Counter("valora_engine_recycles_total", "Live engines retired at the request cap.", sys),
+		ttft:        f.prom.Histogram("valora_ttft_ms", "Time to first token (ms, virtual).", lat, sys),
+		e2e:         f.prom.Histogram("valora_e2e_ms", "End-to-end request latency (ms, virtual).", lat, sys),
+		queueWait:   f.prom.Histogram("valora_queue_wait_ms", "Arrival-to-first-schedule delay (ms, virtual).", lat, sys),
+		resident:    f.prom.Gauge("valora_adapter_pool_resident", "Adapters resident in the GPU pool.", sys),
+		virtualMS:   f.prom.Gauge("valora_virtual_time_ms", "The live engine's virtual clock (ms).", sys),
+	}
+}
+
 // instance returns the live engine for kind, building it on first use.
 // Callers must hold f.mu.
 func (f *Frontend) instance(kind SystemKind) (*liveEngine, error) {
-	if eng, ok := f.instances[kind]; ok {
-		return eng, nil
+	for _, eng := range f.engines {
+		if eng.kind == kind {
+			return eng, nil
+		}
 	}
 	srv, err := NewSystem(kind, f.GPU, f.Model)
 	if err != nil {
 		return nil, err
 	}
-	eng := &liveEngine{srv: srv}
-	f.instances[kind] = eng
+	srv.SetTraceRecorder(f.traceRec)
+	eng := &liveEngine{kind: kind, srv: srv, met: f.metricsFor(kind)}
+	f.engines = append(f.engines, eng)
 	return eng, nil
+}
+
+// foldSwapStats folds the engine's cumulative swap accounting into the
+// frontend's counters as a delta against what was already folded.
+// Callers must hold eng.mu. Called at scrape time and — crucially —
+// at retirement, so a recycled engine's totals are preserved.
+func (eng *liveEngine) foldSwapStats() {
+	ins, _, bytes, stall := eng.srv.PoolSwapStats()
+	eng.met.swapIns.Add(float64(ins - eng.lastSwapIns))
+	eng.met.swapBytes.Add(float64(bytes - eng.lastSwapBytes))
+	eng.met.swapStall.Add(float64(stall-eng.lastSwapStall) / float64(time.Millisecond))
+	eng.lastSwapIns, eng.lastSwapBytes, eng.lastSwapStall = ins, bytes, stall
+}
+
+// retire removes a capped engine from the live list after folding its
+// final swap deltas; in-flight holders finish on it, the next request
+// builds a fresh one. Callers must hold eng.mu (but not f.mu).
+func (f *Frontend) retire(eng *liveEngine) {
+	eng.foldSwapStats()
+	eng.met.recycles.Inc()
+	f.mu.Lock()
+	for i, e := range f.engines {
+		if e == eng {
+			f.engines = append(f.engines[:i], f.engines[i+1:]...)
+			break
+		}
+	}
+	f.mu.Unlock()
+}
+
+// recordSLO folds one deadline-carrying completion into its (system,
+// tenant) attainment gauge.
+func (f *Frontend) recordSLO(kind SystemKind, req *sched.Request) {
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var t *sloTrack
+	for _, e := range f.slo {
+		if e.kind == kind && e.tenant == tenant {
+			t = e
+			break
+		}
+	}
+	if t == nil {
+		t = &sloTrack{kind: kind, tenant: tenant,
+			gauge: f.prom.Gauge("valora_slo_attainment", "Fraction of deadline-carrying requests finishing within their deadline.",
+				metrics.Label{Name: "system", Value: string(kind)},
+				metrics.Label{Name: "tenant", Value: tenant})}
+		f.slo = append(f.slo, t)
+	}
+	t.total++
+	if req.Latency() <= req.Deadline {
+		t.met++
+	}
+	t.gauge.Set(float64(t.met) / float64(t.total))
+}
+
+// runLive submits one request into kind's persistent engine, steps the
+// engine until the request completes, and folds the completion into
+// the metrics collector. The returned status is an HTTP status for
+// the error (when err != nil).
+func (f *Frontend) runLive(kind SystemKind, req *sched.Request) (virtualNow time.Duration, status int, err error) {
+	f.mu.Lock()
+	eng, err := f.instance(kind)
+	if err != nil {
+		f.mu.Unlock()
+		return 0, http.StatusInternalServerError, err
+	}
+	f.mu.Unlock()
+
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	srv := eng.srv
+	req.Arrival = srv.Now() // online arrival at the live engine's clock
+	srv.Submit(req)
+	for req.Phase != sched.PhaseDone {
+		progressed, err := srv.Step()
+		if err != nil {
+			return 0, http.StatusInternalServerError, err
+		}
+		if !progressed {
+			return 0, http.StatusInternalServerError, errors.New("engine stalled before request completion")
+		}
+	}
+	eng.served++
+	if eng.served >= f.liveRequestCap() {
+		f.retire(eng)
+	}
+	m := eng.met
+	if req.Emitted == 0 {
+		m.rejected.Inc()
+		return srv.Now(), http.StatusUnprocessableEntity, errors.New("request rejected: prompt exceeds the KV cache")
+	}
+	m.requests.Inc()
+	m.tokensIn.Add(float64(req.InputTokens))
+	m.tokensOut.Add(float64(req.OutputTokens))
+	m.ttft.ObserveDuration(req.FirstToken - req.Arrival)
+	m.e2e.ObserveDuration(req.Latency())
+	m.queueWait.ObserveDuration(req.FirstSchedule - req.Arrival)
+	if req.ColdStart {
+		m.coldStarts.Inc()
+	}
+	if req.PreemptCount > 0 {
+		m.preemptions.Add(float64(req.PreemptCount))
+	}
+	if req.Deadline > 0 {
+		f.recordSLO(kind, req)
+	}
+	return srv.Now(), http.StatusOK, nil
+}
+
+func (f *Frontend) liveRequestCap() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.liveCap
 }
 
 // systemOf validates an optional per-request system override.
@@ -98,6 +415,36 @@ func (f *Frontend) systemOf(name string) (SystemKind, error) {
 		return f.Kind, nil
 	}
 	return SystemByName(name)
+}
+
+// handleMetrics serves the Prometheus text exposition. Scrape-time
+// gauges (pool residency, virtual clock) sample the current live
+// engines; cumulative counters were updated on the request path and
+// only the engine-held swap totals need folding.
+func (f *Frontend) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	engines := append([]*liveEngine(nil), f.engines...)
+	f.mu.Unlock()
+	for _, eng := range engines {
+		eng.mu.Lock()
+		eng.foldSwapStats()
+		eng.met.resident.Set(float64(eng.srv.PoolResidentCount()))
+		eng.met.virtualMS.Set(float64(eng.srv.Now()) / float64(time.Millisecond))
+		eng.mu.Unlock()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = f.prom.Write(w)
+}
+
+// handleTrace serves the captured per-request trace as JSONL.
+func (f *Frontend) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rec := f.TraceRecorder()
+	if rec == nil {
+		http.Error(w, "trace capture is not enabled (start the server with -trace)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	_ = rec.WriteJSONL(w)
 }
 
 func (f *Frontend) handleModel(w http.ResponseWriter, r *http.Request) {
@@ -114,12 +461,14 @@ func (f *Frontend) handleModel(w http.ResponseWriter, r *http.Request) {
 
 // requestBody is the JSON schema of POST /v1/requests.
 type requestBody struct {
-	AdapterID    int    `json:"adapter_id"`
-	InputTokens  int    `json:"input_tokens"`
-	OutputTokens int    `json:"output_tokens"`
-	Images       int    `json:"images"`
-	Task         string `json:"task"`
-	System       string `json:"system"` // optional override of the default system
+	AdapterID    int     `json:"adapter_id"`
+	InputTokens  int     `json:"input_tokens"`
+	OutputTokens int     `json:"output_tokens"`
+	Images       int     `json:"images"`
+	Task         string  `json:"task"`
+	System       string  `json:"system"` // optional override of the default system
+	Tenant       string  `json:"tenant"`
+	DeadlineMS   float64 `json:"deadline_ms"` // >0 enables SLO accounting
 }
 
 func (f *Frontend) handleRequest(w http.ResponseWriter, r *http.Request) {
@@ -138,9 +487,6 @@ func (f *Frontend) handleRequest(w http.ResponseWriter, r *http.Request) {
 	if body.OutputTokens <= 0 {
 		body.OutputTokens = 64
 	}
-	// The engine simulates one Step per output token while holding its
-	// engine lock; bound the work one request can demand.
-	const maxInputTokens, maxOutputTokens = 1 << 20, 4096
 	if body.InputTokens > maxInputTokens || body.OutputTokens > maxOutputTokens {
 		http.Error(w, fmt.Sprintf("token counts exceed the per-request maximum (%d in, %d out)", maxInputTokens, maxOutputTokens), http.StatusBadRequest)
 		return
@@ -151,22 +497,8 @@ func (f *Frontend) handleRequest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	f.mu.Lock()
-	eng, err := f.instance(kind)
-	if err != nil {
-		f.mu.Unlock()
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	f.seq++
-	id := f.seq
-	f.mu.Unlock()
-
-	eng.mu.Lock()
-	defer eng.mu.Unlock()
-	srv := eng.srv
 	req := &sched.Request{
-		ID:           id,
+		ID:           f.nextID(),
 		AdapterID:    body.AdapterID,
 		App:          sched.VisualRetrieval,
 		Task:         train.VisualQA,
@@ -174,32 +506,12 @@ func (f *Frontend) handleRequest(w http.ResponseWriter, r *http.Request) {
 		InputTokens:  body.InputTokens,
 		OutputTokens: body.OutputTokens,
 		Images:       body.Images,
-		Arrival:      srv.Now(), // online arrival at the live engine's clock
+		Tenant:       body.Tenant,
+		Deadline:     time.Duration(body.DeadlineMS * float64(time.Millisecond)),
 	}
-	srv.Submit(req)
-	for req.Phase != sched.PhaseDone {
-		progressed, err := srv.Step()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		if !progressed {
-			http.Error(w, "engine stalled before request completion", http.StatusInternalServerError)
-			return
-		}
-	}
-	eng.served++
-	if eng.served >= liveEngineRequestCap {
-		// Retire the engine; in-flight holders finish on it, the next
-		// request builds a fresh one (bounds latency-sample retention).
-		f.mu.Lock()
-		if f.instances[kind] == eng {
-			delete(f.instances, kind)
-		}
-		f.mu.Unlock()
-	}
-	if req.Emitted == 0 {
-		http.Error(w, "request rejected: prompt exceeds the KV cache", http.StatusUnprocessableEntity)
+	now, status, err := f.runLive(kind, req)
+	if err != nil {
+		http.Error(w, err.Error(), status)
 		return
 	}
 	lat := req.Latency()
@@ -210,7 +522,7 @@ func (f *Frontend) handleRequest(w http.ResponseWriter, r *http.Request) {
 		"e2e_ms":            float64(lat) / float64(time.Millisecond),
 		"avg_token_latency": float64(lat) / float64(time.Millisecond) / float64(req.InputTokens+req.OutputTokens),
 		"output_tokens":     req.OutputTokens,
-		"virtual_now_ms":    float64(srv.Now()) / float64(time.Millisecond),
+		"virtual_now_ms":    float64(now) / float64(time.Millisecond),
 	})
 }
 
@@ -279,18 +591,18 @@ func (f *Frontend) handleReplay(w http.ResponseWriter, r *http.Request) {
 	f.mu.Unlock()
 
 	dur := time.Duration(body.Seconds) * time.Second
-	var trace workload.Trace
+	var tr workload.Trace
 	if body.App == "video" {
-		trace = workload.GenVideo(workload.DefaultVideo(int(body.Rate), dur, body.Adapters, body.Skew, seed))
+		tr = workload.GenVideo(workload.DefaultVideo(int(body.Rate), dur, body.Adapters, body.Skew, seed))
 	} else {
-		trace = workload.GenRetrieval(workload.DefaultRetrieval(body.Rate, dur, body.Adapters, body.Skew, seed))
+		tr = workload.GenRetrieval(workload.DefaultRetrieval(body.Rate, dur, body.Adapters, body.Skew, seed))
 	}
 	cl, err := NewSystemCluster(kind, body.Replicas, f.GPU, f.Model, dispatch)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	rep, err := cl.Run(trace)
+	rep, err := cl.Run(tr)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

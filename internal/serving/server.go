@@ -13,6 +13,7 @@ import (
 	"valora/internal/sched"
 	"valora/internal/sim"
 	"valora/internal/simgpu"
+	"valora/internal/trace"
 	"valora/internal/workload"
 )
 
@@ -153,6 +154,11 @@ type Server struct {
 	latencySum time.Duration
 	tokensOut  int
 
+	// traceRec, when installed, receives one trace.Record per completed
+	// request (the observe half of the observe–predict–calibrate loop).
+	// nil costs nothing on the completion path.
+	traceRec *trace.Recorder
+
 	// id is the instance's stable identity within its cluster:
 	// assigned once at creation, never reused, unchanged by autoscaler
 	// churn. Stateful dispatch policies key their affinity maps on it
@@ -245,6 +251,28 @@ func (s *Server) tenantStatOf(name string) *tenantStat {
 		s.tenants[name] = ts
 	}
 	return ts
+}
+
+// SetTraceRecorder installs (or, with nil, removes) the per-request
+// trace sink. Each completed request appends one trace.Record; the
+// recorder may be shared by many instances (it locks internally) and
+// survives the instance that fed it — the HTTP frontend keeps one
+// recorder across live-engine recycling.
+func (s *Server) SetTraceRecorder(rec *trace.Recorder) { s.traceRec = rec }
+
+// TraceRecorder reports the installed per-request trace sink (nil when
+// tracing is off).
+func (s *Server) TraceRecorder() *trace.Recorder { return s.traceRec }
+
+// PoolResidentCount reports how many adapters are currently resident
+// in the instance's GPU adapter pool (the /metrics residency gauge).
+func (s *Server) PoolResidentCount() int { return s.pool.ResidentCount() }
+
+// PoolSwapStats reports the adapter pool's cumulative swap accounting:
+// swap-ins, evictions, bytes moved, and time stalled on synchronous
+// swaps.
+func (s *Server) PoolSwapStats() (swapIns, evictions int, bytes int64, stalled time.Duration) {
+	return s.pool.SwapStats()
 }
 
 // SetPreemptHandler installs the cluster's re-admission hook: every
@@ -986,6 +1014,7 @@ func (s *Server) preempt(r *sched.Request) int {
 	r.Phase = sched.PhaseQueued
 	s.report.Preemptions++
 	s.report.RecomputeTokens += recompute
+	r.RecomputeTokens += recompute
 	return recompute
 }
 
@@ -1015,6 +1044,26 @@ func (s *Server) finish(r *sched.Request) {
 				ts.sloMet++
 			}
 		}
+	}
+	if s.traceRec != nil {
+		s.traceRec.Append(trace.Record{
+			ID:              r.ID,
+			Tenant:          r.Tenant,
+			Adapter:         r.AdapterID,
+			System:          s.opts.Name,
+			Instance:        s.id,
+			Arrival:         r.Arrival,
+			Admission:       r.FirstSchedule,
+			FirstToken:      r.FirstToken,
+			Finish:          r.Finish,
+			InputTokens:     r.InputTokens,
+			OutputTokens:    r.OutputTokens,
+			SharedTokens:    r.SharedTokens,
+			Images:          r.Images,
+			ColdStart:       r.ColdStart,
+			Preemptions:     r.PreemptCount,
+			RecomputeTokens: r.RecomputeTokens,
+		})
 	}
 }
 

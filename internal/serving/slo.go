@@ -301,6 +301,7 @@ func (c *Cluster) runManaged(trace workload.Trace) (*Report, error) {
 			}
 			srv.AdvanceClockTo(now) // join at cluster time, not t=0
 			srv.id = len(c.servers) // stable identity, never reused
+			srv.SetTraceRecorder(c.traceRec)
 			installPreempt(srv)
 			c.servers = append(c.servers, srv)
 			state = append(state, instanceState{})

@@ -38,15 +38,18 @@ package valora
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"valora/internal/bench"
+	"valora/internal/calib"
 	"valora/internal/lmm"
 	"valora/internal/lora"
 	"valora/internal/registry"
 	"valora/internal/sched"
 	"valora/internal/serving"
 	"valora/internal/simgpu"
+	"valora/internal/trace"
 	"valora/internal/train"
 	"valora/internal/workload"
 )
@@ -330,6 +333,55 @@ func NewManagedCluster(cfg Config, n int, dispatch DispatchKind, sc SchedulingCo
 // multi-tenant experiment (realtime / interactive / batch) with their
 // fair-share weights, burst credits and queue caps.
 func DefaultTenantClasses() []TenantSpec { return workload.DefaultTenantClasses() }
+
+// Trace capture and calibration (the observe–predict–calibrate loop).
+type (
+	// TraceRecord is one completed request's structured observation:
+	// the virtual timestamps (arrival, admission, first token, finish)
+	// plus the token/image/cold-start facts a cost model fits against.
+	TraceRecord = trace.Record
+	// TraceRecorder collects TraceRecords from a running system; attach
+	// one with SetTraceRecorder and read Rows or WriteJSONL after a run.
+	TraceRecorder = trace.Recorder
+	// CostModel holds calibrated per-phase latency coefficients fitted
+	// from a trace by FitCostModel.
+	CostModel = calib.Coefficients
+	// CalibrationMetric is one scorecard entry (observed vs predicted
+	// percentile, relative error) from EvaluateCostModel.
+	CalibrationMetric = calib.Metric
+)
+
+// NewTraceRecorder builds an empty per-request trace sink.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// SetTraceRecorder installs a per-request trace sink on the engine:
+// every finished request appends one TraceRecord.
+func (s *System) SetTraceRecorder(rec *TraceRecorder) { s.server.SetTraceRecorder(rec) }
+
+// SetTraceRecorder installs a shared per-request trace sink on every
+// replica (records carry the instance index).
+func (c *ClusterSystem) SetTraceRecorder(rec *TraceRecorder) { c.cluster.SetTraceRecorder(rec) }
+
+// FitCostModel fits prefill/decode latency coefficients to a captured
+// trace by least squares (needs at least 8 causally-ordered rows).
+func FitCostModel(rows []TraceRecord) (CostModel, error) { return calib.Fit(rows) }
+
+// EvaluateCostModel re-predicts every row under the fitted model and
+// returns the TTFT/E2E p50/p99 scorecard.
+func EvaluateCostModel(rows []TraceRecord, m CostModel) []CalibrationMetric {
+	return calib.Evaluate(rows, m)
+}
+
+// WorstRelErr returns the largest relative error in a scorecard.
+func WorstRelErr(scorecard []CalibrationMetric) float64 { return calib.MaxRelErr(scorecard) }
+
+// WriteTraceJSONL writes rows deterministically (sorted by finish
+// time) as one JSON object per line.
+func WriteTraceJSONL(w io.Writer, rows []TraceRecord) error { return trace.WriteJSONL(w, rows) }
+
+// ReadTraceJSONL loads a JSONL capture written by WriteTraceJSONL,
+// valora-server or valora-calibrate.
+func ReadTraceJSONL(r io.Reader) ([]TraceRecord, error) { return trace.ReadJSONL(r) }
 
 // ServiceFloorEstimator returns an admission-time lower bound on a
 // request's service time for the given model on a simulated A100 —
