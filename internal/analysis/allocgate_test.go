@@ -167,3 +167,42 @@ func TestObserveZeroAlloc(t *testing.T) {
 		pf.Observe(0, now)
 	})
 }
+
+// Chunk-mode Store.Demand on a resident adapter is the per-iteration
+// resolve/refcount hot path: key lookup, all-chunks-resident scan, LRU
+// touch of the adapter and each of its chunks — no fetch machinery.
+func TestChunkDemandResidentZeroAlloc(t *testing.T) {
+	model := lmm.QwenVL7B()
+	adapters := lora.MakeUniformAdapters(model, 4, model.DefaultRank)
+	ab := adapters[0].Bytes()
+	cat := registry.CatalogFromFamilies(adapters, nil, func(id int) (string, int64) {
+		return "fam", ab / 2
+	})
+	store := registry.NewStore(registry.Config{
+		HostCapacity:    16 * ab,
+		RemoteLatency:   time.Millisecond,
+		RemoteBandwidth: 1e9,
+		ChunkSize:       ab / 16,
+	}, cat)
+	// Materialize adapters 0 and 1, then drain every in-flight chunk.
+	for id := 0; id < 2; id++ {
+		if st, _, _ := store.Demand(id, 0); st == registry.StatusDenied {
+			t.Fatalf("adapter %d: fetch denied", id)
+		}
+	}
+	for store.NextFetchDone() >= 0 {
+		store.Advance(store.NextFetchDone())
+	}
+	now := time.Second
+	gate(t, "Store.Demand (chunked, resident)", func() {
+		now += time.Microsecond
+		for id := 0; id < 2; id++ {
+			if st, _, _ := store.Demand(id, now); st != registry.StatusHit {
+				t.Fatalf("adapter %d: status %v, want hit", id, st)
+			}
+		}
+		if !store.HostResident(1, now) {
+			t.Fatal("adapter 1 not resident")
+		}
+	})
+}

@@ -160,6 +160,7 @@ func (s *Suite) All() []Experiment {
 		{"multi-tenant", "fair-share vs FIFO SLO attainment, 3 tenants + autoscaler", s.MultiTenant},
 		{"parallel-managed", "bounded-lookahead sharding on the saturated multi-tenant trace", s.ParallelManaged},
 		{"adapter-cold-start", "tiered adapter registry: prefetch + residency quotas vs cold fetches", s.AdapterColdStart},
+		{"fleet-cold-start", "chunk-level dedup + replicated links on a family-structured adapter fleet", s.FleetColdStart},
 		{"preemption-tail", "iteration-level preemption: realtime p99 with vs without displacement", s.PreemptionTail},
 		{"observe-calibrate", "cost-model calibration round-trip from per-request traces", s.ObserveCalibrate},
 		{"fig24", "prefix-cache ablation on multi-round retrieval", s.Fig24PrefixCache},

@@ -82,6 +82,15 @@ type StressRecord struct {
 	PrefetchFetches int     `json:"prefetch_fetches,omitempty"`
 	FetchBytes      int64   `json:"fetch_bytes,omitempty"`
 	SwapBytes       int64   `json:"swap_bytes,omitempty"`
+
+	// Chunk-mode distribution fields (fleet-cold-start records with
+	// registry.Config.ChunkSize > 0 only; see internal/registry).
+	ChunkFetches     int     `json:"chunk_fetches,omitempty"`
+	DedupHits        int     `json:"dedup_hits,omitempty"`
+	DedupedBytes     int64   `json:"deduped_bytes,omitempty"`
+	ChunkEvictions   int     `json:"chunk_evictions,omitempty"`
+	FetchCostBaseMS  float64 `json:"fetch_cost_base_ms,omitempty"`
+	FetchCostPerMBMS float64 `json:"fetch_cost_per_mb_ms,omitempty"`
 }
 
 // BenchServingFile is the trajectory file the stress experiment

@@ -29,17 +29,33 @@ type Entry struct {
 	Digest uint64
 	// Tenant names the owning service class ("" = shared).
 	Tenant string
+	// Family names the adapter family this adapter was generated in
+	// ("" = standalone). VaLoRA's accuracy-aware generation produces
+	// families of adapters over one base delta: siblings share the
+	// leading SharedBytes of their weight blob, so a chunk-mode store
+	// (Config.ChunkSize > 0) dedups those bytes at the chunk level.
+	// Whole-blob stores ignore both fields.
+	Family string
+	// SharedBytes is the length of the family-shared weight prefix.
+	// Only whole chunks dedup: the store rounds it down to a chunk
+	// boundary, and the shared tail short of a boundary rides in the
+	// adapter's first private chunk.
+	SharedBytes int64
 }
 
 // Catalog maps adapter IDs to content-addressed entries. It is the
 // authoritative view of what the remote registry can serve.
 type Catalog struct {
 	byID map[int]*Entry
+	// famFirst remembers the first-catalogued entry of each family, the
+	// representative a chunk store derives the family's shared chunk
+	// list from.
+	famFirst map[string]*Entry
 }
 
 // NewCatalog builds an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{byID: make(map[int]*Entry)}
+	return &Catalog{byID: make(map[int]*Entry), famFirst: make(map[string]*Entry)}
 }
 
 // CatalogFromAdapters catalogues a whole adapter set, resolving
@@ -52,6 +68,26 @@ func CatalogFromAdapters(adapters []*lora.Adapter, tenantOf func(id int) string)
 			tenant = tenantOf(a.ID)
 		}
 		c.Add(a, tenant)
+	}
+	return c
+}
+
+// CatalogFromFamilies catalogues a whole adapter set with family
+// structure: familyOf reports each adapter's family and the byte
+// length of its family-shared weight prefix (family "" = standalone),
+// tenantOf resolves ownership (nil = all shared).
+func CatalogFromFamilies(adapters []*lora.Adapter, tenantOf func(id int) string, familyOf func(id int) (string, int64)) *Catalog {
+	c := NewCatalog()
+	for _, a := range adapters {
+		tenant := ""
+		if tenantOf != nil {
+			tenant = tenantOf(a.ID)
+		}
+		family, shared := "", int64(0)
+		if familyOf != nil {
+			family, shared = familyOf(a.ID)
+		}
+		c.AddFamily(a, tenant, family, shared)
 	}
 	return c
 }
@@ -79,6 +115,35 @@ func (c *Catalog) Add(a *lora.Adapter, tenant string) {
 	c.byID[a.ID] = &Entry{Adapter: a, Digest: Digest(a), Tenant: tenant}
 }
 
+// AddFamily catalogues an adapter as a member of an adapter family:
+// the leading sharedBytes of its weight blob are the family-common
+// base delta every sibling carries. A chunk-mode store dedups those
+// bytes; whole-blob stores treat the entry exactly like Add's.
+// sharedBytes is clamped to the adapter's size.
+func (c *Catalog) AddFamily(a *lora.Adapter, tenant, family string, sharedBytes int64) {
+	if sharedBytes < 0 {
+		sharedBytes = 0
+	}
+	if b := a.Bytes(); sharedBytes > b {
+		sharedBytes = b
+	}
+	e := &Entry{Adapter: a, Digest: Digest(a), Tenant: tenant, Family: family, SharedBytes: sharedBytes}
+	c.byID[a.ID] = e
+	if family != "" {
+		if _, ok := c.famFirst[family]; !ok {
+			c.famFirst[family] = e
+		}
+	}
+}
+
+// FamilyRep reports the representative (first-catalogued) entry of a
+// family, from which a chunk store derives the family's shared chunk
+// prefix.
+func (c *Catalog) FamilyRep(family string) (*Entry, bool) {
+	e, ok := c.famFirst[family]
+	return e, ok
+}
+
 // Resolve looks an adapter ID up.
 func (c *Catalog) Resolve(id int) (*Entry, bool) {
 	e, ok := c.byID[id]
@@ -87,3 +152,68 @@ func (c *Catalog) Resolve(id int) (*Entry, bool) {
 
 // Len reports the number of catalogued adapters.
 func (c *Catalog) Len() int { return len(c.byID) }
+
+// chunkDigest addresses one fixed-size chunk of an adapter's weight
+// blob. Chunks inside the family-shared prefix hash the family
+// identity and the chunk index — every sibling's chunk i resolves to
+// the same address, which is the whole point — while private chunks
+// hash the adapter's own content digest, so two adapters collide on a
+// chunk exactly when the chunk's content is the same.
+func chunkDigest(e *Entry, index int, shared bool) uint64 {
+	h := fnv.New64a()
+	if shared {
+		h.Write([]byte("family:"))
+		h.Write([]byte(e.Family))
+		h.Write([]byte(e.Adapter.Model.Name))
+	} else {
+		h.Write([]byte("blob:"))
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(e.Digest >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	var idx [8]byte
+	for i := 0; i < 8; i++ {
+		idx[i] = byte(uint64(index) >> (8 * i))
+	}
+	h.Write(idx[:])
+	return h.Sum64()
+}
+
+// sharedChunkCount reports how many whole leading chunks of an entry
+// are family-shared at the given chunk size.
+func sharedChunkCount(e *Entry, chunkSize int64) int {
+	if e.Family == "" || e.SharedBytes <= 0 {
+		return 0
+	}
+	return int(e.SharedBytes / chunkSize)
+}
+
+// chunkSpans lists an entry's ordered (digest, bytes) chunk spans at
+// the given chunk size: fixed-size chunks, the last one holding the
+// remainder. The leading sharedChunkCount spans carry family-shared
+// addresses.
+func chunkSpans(e *Entry, chunkSize int64) []ChunkSpan {
+	total := e.Adapter.Bytes()
+	n := int((total + chunkSize - 1) / chunkSize)
+	if n == 0 {
+		n = 1
+	}
+	sharedN := sharedChunkCount(e, chunkSize)
+	out := make([]ChunkSpan, n)
+	for i := 0; i < n; i++ {
+		b := chunkSize
+		if rem := total - int64(i)*chunkSize; rem < b {
+			b = rem
+		}
+		out[i] = ChunkSpan{Digest: chunkDigest(e, i, i < sharedN), Bytes: b}
+	}
+	return out
+}
+
+// ChunkSpan is one chunk's content address and size.
+type ChunkSpan struct {
+	Digest uint64
+	Bytes  int64
+}

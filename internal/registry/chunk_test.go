@@ -1,0 +1,336 @@
+package registry
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"valora/internal/lmm"
+	"valora/internal/lora"
+	"valora/internal/sim"
+)
+
+// familyAdapters builds fams families of perFam adapters each, every
+// family sharing the leading sharedBytes of its members' blobs, all
+// owned by tenantOf (nil = shared).
+func familyAdapters(fams, perFam int, sharedBytes int64, tenantOf func(id int) string) ([]*lora.Adapter, *Catalog) {
+	model := lmm.QwenVL7B()
+	adapters := lora.MakeUniformAdapters(model, fams*perFam, model.DefaultRank)
+	famOf := func(id int) (string, int64) {
+		return "fam" + string(rune('A'+id/perFam)), sharedBytes
+	}
+	return adapters, CatalogFromFamilies(adapters, tenantOf, famOf)
+}
+
+// drain advances the store past every in-flight fetch.
+func drain(s *Store, now time.Duration) time.Duration {
+	for {
+		d := s.NextFetchDone()
+		if d == sim.Never {
+			return now
+		}
+		if d > now {
+			now = d
+		}
+		s.Advance(now)
+	}
+}
+
+// TestChunkSiblingDedupTransfersSharedPrefixOnce is the fetch-byte
+// accounting regression: fetching two family siblings back-to-back
+// must transfer the shared prefix once — both when the second demand
+// arrives after the first completed (chunks resident) and while it is
+// still in flight (chunks riding).
+func TestChunkSiblingDedupTransfersSharedPrefixOnce(t *testing.T) {
+	model := lmm.QwenVL7B()
+	ab := model.AdapterBytes(model.DefaultRank)
+	chunkSize := ab / 8
+	_, cat := familyAdapters(1, 2, ab/2, nil)
+	ent, _ := cat.Resolve(1)
+	sharedN := sharedChunkCount(ent, chunkSize)
+	if sharedN == 0 {
+		t.Fatal("test setup: no shared chunks")
+	}
+	var sharedB, privateB int64
+	for i, sp := range chunkSpans(ent, chunkSize) {
+		if i < sharedN {
+			sharedB += sp.Bytes
+		} else {
+			privateB += sp.Bytes
+		}
+	}
+
+	t.Run("sequential", func(t *testing.T) {
+		s := NewStore(Config{HostCapacity: 8 * ab, ChunkSize: chunkSize,
+			RemoteLatency: time.Millisecond, RemoteBandwidth: 1e9}, cat)
+		st, _, q0 := s.Demand(0, 0)
+		if st != StatusStarted || q0 != ab {
+			t.Fatalf("first sibling: status %v queued %d, want started %d", st, q0, ab)
+		}
+		now := drain(s, 0)
+		st, _, q1 := s.Demand(1, now)
+		if st != StatusStarted || q1 != privateB {
+			t.Fatalf("second sibling: status %v queued %d, want started %d (private tail only)", st, q1, privateB)
+		}
+		drain(s, now)
+		stats := s.Stats()
+		if stats.FetchBytes != ab+privateB {
+			t.Fatalf("FetchBytes = %d, want %d: shared prefix must be counted once", stats.FetchBytes, ab+privateB)
+		}
+		if stats.DedupedBytes != sharedB {
+			t.Fatalf("DedupedBytes = %d, want %d", stats.DedupedBytes, sharedB)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("in-flight", func(t *testing.T) {
+		s := NewStore(Config{HostCapacity: 8 * ab, ChunkSize: chunkSize,
+			RemoteLatency: time.Millisecond, RemoteBandwidth: 1e9}, cat)
+		if st, _, q := s.Demand(0, 0); st != StatusStarted || q != ab {
+			t.Fatalf("first sibling: status %v queued %d", st, q)
+		}
+		// Second sibling while the first is still on the wire: its
+		// shared chunks ride the in-flight transfers.
+		st, _, q1 := s.Demand(1, 0)
+		if st != StatusStarted || q1 != privateB {
+			t.Fatalf("in-flight sibling: status %v queued %d, want started %d", st, q1, privateB)
+		}
+		now := drain(s, 0)
+		if !s.HostResident(0, now) || !s.HostResident(1, now) {
+			t.Fatal("both siblings should be resident after drain")
+		}
+		if stats := s.Stats(); stats.FetchBytes != ab+privateB {
+			t.Fatalf("FetchBytes = %d, want %d", stats.FetchBytes, ab+privateB)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestChunkFullDedupIsInstantHit: with the whole blob family-shared,
+// a sibling of a resident adapter is a demand hit without any
+// transfer.
+func TestChunkFullDedupIsInstantHit(t *testing.T) {
+	model := lmm.QwenVL7B()
+	ab := model.AdapterBytes(model.DefaultRank)
+	_, cat := familyAdapters(1, 2, ab, nil)
+	s := NewStore(Config{HostCapacity: 8 * ab, ChunkSize: ab,
+		RemoteLatency: time.Millisecond, RemoteBandwidth: 1e9}, cat)
+	s.Demand(0, 0)
+	now := drain(s, 0)
+	if !s.HostResident(1, now) {
+		t.Fatal("sibling sharing every chunk should read as host-resident")
+	}
+	st, _, q := s.Demand(1, now)
+	if st != StatusHit || q != 0 {
+		t.Fatalf("full-dedup sibling: status %v queued %d, want hit 0", st, q)
+	}
+	stats := s.Stats()
+	if stats.DedupHits != 1 {
+		t.Fatalf("DedupHits = %d, want 1", stats.DedupHits)
+	}
+	if stats.FetchBytes != ab {
+		t.Fatalf("FetchBytes = %d, want %d", stats.FetchBytes, ab)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChunkEvictionSparesSharedChunks: evicting one sibling frees
+// only its private tail while another sibling is resident — the
+// refcounted shared prefix stays, and the survivor stays host-hit.
+func TestChunkEvictionSparesSharedChunks(t *testing.T) {
+	model := lmm.QwenVL7B()
+	ab := model.AdapterBytes(model.DefaultRank)
+	chunkSize := ab / 8
+	_, cat := familyAdapters(2, 2, ab/2, nil)
+	ent, _ := cat.Resolve(0)
+	sharedN := sharedChunkCount(ent, chunkSize)
+	var sharedB, privateB int64
+	for i, sp := range chunkSpans(ent, chunkSize) {
+		if i < sharedN {
+			sharedB += sp.Bytes
+		} else {
+			privateB += sp.Bytes
+		}
+	}
+	// Room for one family: both siblings (shared once) but not a third
+	// adapter from another family without eviction.
+	capacity := sharedB + 2*privateB
+	s := NewStore(Config{HostCapacity: capacity, ChunkSize: chunkSize,
+		RemoteLatency: time.Millisecond, RemoteBandwidth: 1e9}, cat)
+	s.Demand(0, 0)
+	now := drain(s, 0)
+	s.Demand(1, now)
+	now = drain(s, now)
+	if got := s.HostUsed(); got != capacity {
+		t.Fatalf("family resident: used %d, want %d (shared prefix stored once)", got, capacity)
+	}
+	// Adapter 2 (family B) forces eviction. Freeing both siblings'
+	// private tails is enough only if the shared prefix survives the
+	// first eviction (the victims' shared chunks keep refs>0).
+	st, _, _ := s.Demand(2, now)
+	if st != StatusStarted {
+		t.Fatalf("cross-family demand: %v, want started", st)
+	}
+	now = drain(s, now)
+	if !s.HostResident(2, now) {
+		t.Fatal("family-B adapter should be resident after eviction")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.Stats()
+	if stats.Evictions == 0 {
+		t.Fatal("expected evictions under pressure")
+	}
+	// Whoever was evicted, no chunk referenced by a resident adapter
+	// may have gone: re-demanding an evicted sibling must queue at
+	// most its private tail as long as one sibling survived, or its
+	// full size if both went.
+	if s.HostResident(0, now) && s.HostResident(1, now) {
+		t.Fatal("eviction should have displaced at least one sibling")
+	}
+}
+
+// TestPrefetchFamilyWarmsSharedPrefix: warming a family pre-stages
+// exactly the shared chunk prefix, after which every member demand
+// queues only its private tail.
+func TestPrefetchFamilyWarmsSharedPrefix(t *testing.T) {
+	model := lmm.QwenVL7B()
+	ab := model.AdapterBytes(model.DefaultRank)
+	chunkSize := ab / 8
+	_, cat := familyAdapters(1, 4, ab/2, nil)
+	ent, _ := cat.Resolve(0)
+	sharedN := sharedChunkCount(ent, chunkSize)
+	var sharedB, privateB int64
+	for i, sp := range chunkSpans(ent, chunkSize) {
+		if i < sharedN {
+			sharedB += sp.Bytes
+		} else {
+			privateB += sp.Bytes
+		}
+	}
+	s := NewStore(Config{HostCapacity: 8 * ab, ChunkSize: chunkSize,
+		RemoteLatency: time.Millisecond, RemoteBandwidth: 1e9}, cat)
+	eta, started := s.PrefetchFamily("famA", 0)
+	if !started || eta <= 0 {
+		t.Fatalf("PrefetchFamily: started=%v eta=%v", started, eta)
+	}
+	now := drain(s, 0)
+	if got := s.HostUsed(); got != sharedB {
+		t.Fatalf("warm set holds %d bytes, want shared prefix %d", got, sharedB)
+	}
+	if stats := s.Stats(); stats.PrefetchBytes != sharedB {
+		t.Fatalf("PrefetchBytes = %d, want %d", stats.PrefetchBytes, sharedB)
+	}
+	for id := 0; id < 4; id++ {
+		st, _, q := s.Demand(id, now)
+		if st != StatusStarted || q != privateB {
+			t.Fatalf("member %d after family warm: status %v queued %d, want started %d", id, st, q, privateB)
+		}
+		now = drain(s, now)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChunkStoreInvariantsProperty drives random demand/prefetch/
+// family-warm/advance/quota sequences over chunked family adapters —
+// across chunk sizes, replica counts and capacities — and asserts the
+// chunk-store invariants after every operation: refcounts never
+// negative, Σ resident chunk bytes ≤ capacity and == the used
+// counter, and no chunk referenced by a resident adapter ever
+// evicted (all enforced by CheckInvariants).
+func TestChunkStoreInvariantsProperty(t *testing.T) {
+	model := lmm.QwenVL7B()
+	ab := model.AdapterBytes(model.DefaultRank)
+	tenants := []string{"a", "b", ""}
+	for trial := 0; trial < 15; trial++ {
+		rng := rand.New(rand.NewSource(int64(4000 + trial)))
+		fams := 2 + rng.Intn(4)
+		perFam := 1 + rng.Intn(4)
+		shared := int64(rng.Intn(9)) * ab / 8 // 0..ab
+		chunkSize := ab / int64(1+rng.Intn(12))
+		tenantOf := func(id int) string { return tenants[id%len(tenants)] }
+		_, cat := familyAdapters(fams, perFam, shared, tenantOf)
+		universe := fams * perFam
+		s := NewStore(Config{
+			HostCapacity:      int64(1+rng.Intn(6)) * ab,
+			RemoteLatency:     time.Millisecond,
+			RemoteBandwidth:   1e9,
+			ChunkSize:         chunkSize,
+			Replicas:          1 + rng.Intn(3),
+			MaxPinnedFraction: -1,
+			LinkWeights:       map[string]float64{"a": 1, "b": 2},
+		}, cat)
+		for _, tn := range tenants[:2] {
+			if rng.Intn(2) == 0 {
+				s.SetQuota(tn, TenantQuota{GuaranteedBytes: int64(rng.Intn(2)) * ab,
+					BurstBytes: int64(rng.Intn(2)) * ab})
+			}
+		}
+		var now time.Duration
+		for op := 0; op < 300; op++ {
+			id := rng.Intn(universe)
+			switch rng.Intn(6) {
+			case 0, 1:
+				s.Ensure(id, now)
+			case 2:
+				s.Prefetch(id, now)
+			case 3:
+				s.PrefetchFamily("fam"+string(rune('A'+rng.Intn(fams))), now)
+			case 4:
+				now += time.Duration(rng.Intn(30)) * time.Millisecond
+				s.Advance(now)
+			case 5:
+				now = drain(s, now)
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("trial %d op %d (chunk=%d reps shared=%d): %v", trial, op, chunkSize, shared, err)
+			}
+			if s.HostUsed() > int64(6)*ab+ab {
+				t.Fatalf("trial %d op %d: used %d beyond any capacity", trial, op, s.HostUsed())
+			}
+		}
+		// Full drain must leave no in-flight state behind.
+		now = drain(s, now)
+		if got := s.InflightFetches(); got != 0 {
+			t.Fatalf("trial %d: %d fetches still in flight after drain", trial, got)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d post-drain: %v", trial, err)
+		}
+	}
+}
+
+// TestWholeBlobPathUntouchedByChunkFields: a store with ChunkSize
+// zero ignores families, replicas and link weights entirely — the
+// legacy whole-blob behavior, byte-for-byte.
+func TestWholeBlobPathUntouchedByChunkFields(t *testing.T) {
+	model := lmm.QwenVL7B()
+	ab := model.AdapterBytes(model.DefaultRank)
+	_, cat := familyAdapters(1, 2, ab/2, nil)
+	s := NewStore(Config{HostCapacity: 4 * ab,
+		RemoteLatency: time.Millisecond, RemoteBandwidth: 1e9,
+		LinkWeights: map[string]float64{"a": 3}}, cat)
+	if st, _, q := s.Demand(0, 0); st != StatusStarted || q != ab {
+		t.Fatalf("whole-blob demand: status %v queued %d, want started %d", st, q, ab)
+	}
+	now := drain(s, 0)
+	// The sibling shares half its bytes, but whole-blob mode cannot
+	// dedup: the full size goes on the link.
+	if st, _, q := s.Demand(1, now); st != StatusStarted || q != ab {
+		t.Fatalf("whole-blob sibling: status %v queued %d, want started %d", st, q, ab)
+	}
+	drain(s, now)
+	stats := s.Stats()
+	if stats.FetchBytes != 2*ab || stats.ChunkFetches != 0 || stats.DedupedBytes != 0 {
+		t.Fatalf("whole-blob stats polluted by chunk counters: %+v", stats)
+	}
+}

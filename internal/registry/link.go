@@ -1,0 +1,171 @@
+package registry
+
+import "time"
+
+// transfer is one chunk's journey over a registry link. A transfer is
+// either in service (start <= now; the link serializes, so at most the
+// queue head can be) or queued with a provisional schedule that every
+// enqueue re-derives under the fair-share discipline.
+type transfer struct {
+	ch        *chunk
+	tenant    string
+	demand    bool  // demand-class (a queued request waits on it)
+	seq       int64 // global enqueue order, the FIFO tie-break
+	scheduled bool  // start/done assigned (zero times are valid, so a flag)
+	start     time.Duration
+	done      time.Duration
+}
+
+// link is one registry replica's serialized transfer pipe with
+// per-tenant weighted fair queuing: when the wire frees up, the next
+// transfer comes from the eligible tenant with the least weighted
+// service so far (bytes served / weight), demand class before prefetch
+// class within a tenant, FIFO within a class. One tenant's cold
+// prefetch sweep therefore cannot push another tenant's demand fetches
+// to the back of the queue — each tenant's backlog drains at its
+// weighted share of the link.
+type link struct {
+	id    int
+	queue []*transfer // schedule order; queue[0] may be in service
+	// served accumulates weighted bytes served per tenant (the fair-
+	// share basis). Only indexed, never ranged: iteration happens over
+	// the queue slice, so the schedule is deterministic.
+	served  map[string]float64
+	pending int64 // bytes queued but not yet completed
+}
+
+func newLink(id int) *link {
+	return &link{id: id, served: make(map[string]float64)}
+}
+
+// weightOf resolves a tenant's fair-share weight (default 1).
+func weightOf(weights map[string]float64, tenant string) float64 {
+	if w, ok := weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// enqueue adds a transfer to the link and re-derives the schedule. A
+// tenant arriving with an empty per-link backlog has its service tag
+// bumped to the least tag among currently-backlogged tenants (the
+// start-time fair-queuing arrival rule): an idle spell earns no
+// banked deficit, so a freshly-arriving sweep cannot monopolize the
+// wire until it "catches up" — which is exactly how it would starve
+// the other tenants' demand fetches.
+func (l *link) enqueue(t *transfer, now time.Duration, cfg *Config) {
+	backlogged := false
+	minTag, haveTag := 0.0, false
+	for _, q := range l.queue {
+		if q.tenant == t.tenant {
+			backlogged = true
+		}
+		tag := l.served[q.tenant]
+		if !haveTag || tag < minTag {
+			minTag, haveTag = tag, true
+		}
+	}
+	if !backlogged && haveTag && l.served[t.tenant] < minTag {
+		l.served[t.tenant] = minTag
+	}
+	l.queue = append(l.queue, t)
+	l.pending += t.ch.bytes
+	l.reschedule(now, cfg)
+}
+
+// reschedule re-derives the fair-share schedule from now: the transfer
+// already on the wire (head with start <= now) keeps its slot, every
+// queued transfer behind it is re-ordered by weighted fair queuing and
+// its start/done recomputed back-to-back. Chunk transfer time is pure
+// wire time (bytes/bandwidth); the per-fetch RemoteLatency is charged
+// once per adapter fetch, at completion, not once per chunk.
+func (l *link) reschedule(now time.Duration, cfg *Config) {
+	keep := 0
+	free := now
+	if len(l.queue) > 0 && l.queue[0].scheduled && l.queue[0].start <= now {
+		keep = 1
+		free = l.queue[0].done
+	}
+	rest := l.queue[keep:]
+	if len(rest) == 0 {
+		return
+	}
+	// Virtual service baseline: lifetime served bytes per tenant,
+	// weighted; the in-service transfer is already charged at pop time
+	// via served, so charge it here explicitly while it occupies the
+	// wire to keep its tenant from double-dipping.
+	virt := make(map[string]float64, 4)
+	if keep == 1 {
+		h := l.queue[0]
+		virt[h.tenant] += float64(h.ch.bytes) / weightOf(cfg.LinkWeights, h.tenant)
+	}
+	scheduled := make([]*transfer, 0, len(rest))
+	remaining := append([]*transfer(nil), rest...)
+	for len(remaining) > 0 {
+		// Per tenant, the eligible candidate is its first transfer in
+		// (demand-first, then seq) order; among tenants, pick the least
+		// weighted lifetime+virtual service, tie-broken by tenant name
+		// then seq so the schedule is a pure function of the queue.
+		best := -1
+		for i, t := range remaining {
+			if best < 0 {
+				best = i
+				continue
+			}
+			b := remaining[best]
+			if t.tenant == b.tenant {
+				if less := transferClassLess(t, b); less {
+					best = i
+				}
+				continue
+			}
+			// served and virt are already weight-normalized (bytes/weight
+			// accumulated at pop and below), so they compare directly.
+			tw := l.served[t.tenant] + virt[t.tenant]
+			bw := l.served[b.tenant] + virt[b.tenant]
+			switch {
+			case tw < bw:
+				best = i
+			case tw == bw && t.tenant < b.tenant:
+				best = i
+			}
+		}
+		t := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		t.scheduled = true
+		t.start = free
+		t.done = free + time.Duration(float64(t.ch.bytes)/cfg.RemoteBandwidth*float64(time.Second))
+		free = t.done
+		virt[t.tenant] += float64(t.ch.bytes) / weightOf(cfg.LinkWeights, t.tenant)
+		scheduled = append(scheduled, t)
+	}
+	copy(l.queue[keep:], scheduled)
+}
+
+// transferClassLess orders two same-tenant transfers: demand class
+// first, FIFO (enqueue seq) within a class.
+func transferClassLess(a, b *transfer) bool {
+	if a.demand != b.demand {
+		return a.demand
+	}
+	return a.seq < b.seq
+}
+
+// head reports the link's next completion, or false when idle.
+func (l *link) head() (*transfer, bool) {
+	if len(l.queue) == 0 {
+		return nil, false
+	}
+	return l.queue[0], true
+}
+
+// pop completes the head transfer, charging its tenant's weighted
+// service.
+func (l *link) pop(cfg *Config) *transfer {
+	t := l.queue[0]
+	copy(l.queue, l.queue[1:])
+	l.queue = l.queue[:len(l.queue)-1]
+	l.pending -= t.ch.bytes
+	l.served[t.tenant] += float64(t.ch.bytes) / weightOf(cfg.LinkWeights, t.tenant)
+	return t
+}

@@ -15,6 +15,13 @@ type Prefetcher struct {
 	// add to (counting demand fetches too: the link is shared, and a
 	// deep demand backlog is a signal to stop speculating).
 	Lookahead int
+	// FamilyWarm, on a chunk-mode store, warms a family's shared chunk
+	// prefix (Store.PrefetchFamily — the tree-structured warm set)
+	// once FamilyWarm distinct observations of that family's adapters
+	// accumulate: one prefix transfer then serves every sibling's
+	// shared bytes. 0 disables family warming.
+	FamilyWarm int
+	famSeen    map[string]int
 }
 
 // NewPrefetcher builds a prefetcher over a store.
@@ -38,5 +45,27 @@ func (p *Prefetcher) Observe(adapterID int, now time.Duration) (eta time.Duratio
 	if p.Store.InflightFetches() >= p.Lookahead {
 		return 0, false
 	}
+	if p.FamilyWarm > 0 {
+		p.observeFamily(adapterID, now)
+	}
 	return p.Store.Prefetch(adapterID, now)
+}
+
+// observeFamily counts arrivals per adapter family and warms a
+// family's shared chunk prefix once it crosses the FamilyWarm
+// threshold — siblings observed after that miss only their private
+// tails. Steady state (family already counted past the threshold) is
+// a map increment on an existing key: no allocation.
+func (p *Prefetcher) observeFamily(adapterID int, now time.Duration) {
+	family := p.Store.FamilyOf(adapterID)
+	if family == "" {
+		return
+	}
+	if p.famSeen == nil {
+		p.famSeen = make(map[string]int)
+	}
+	p.famSeen[family]++
+	if p.famSeen[family] == p.FamilyWarm {
+		p.Store.PrefetchFamily(family, now)
+	}
 }

@@ -44,6 +44,24 @@ type Config struct {
 	// floating pool left over is too small to absorb the sweep. 0
 	// means the default 0.5; negative disables the valve.
 	MaxPinnedFraction float64
+	// ChunkSize switches the store to chunk-level content addressing
+	// (chunk.go): adapters are digested as ordered lists of ChunkSize-
+	// byte chunks, family siblings dedup their shared prefix, residency
+	// is refcounted per chunk, and the remote side becomes Replicas
+	// fair-queued links that move only missing chunks. 0 (the default)
+	// keeps the whole-blob model above, byte-for-byte.
+	ChunkSize int64
+	// Replicas is the number of registry replica links in chunk mode
+	// (each with its own RemoteBandwidth wire; chunks go to the least-
+	// loaded link). 0 means 1. Ignored in whole-blob mode.
+	Replicas int
+	// LinkWeights sets per-tenant fair-share weights on the chunk-mode
+	// replica links (unlisted tenants weigh 1): each link serves the
+	// backlogged tenant with the least weighted bytes served, demand
+	// class before prefetch within a tenant, so one tenant's cold
+	// sweep cannot starve another's demand fetches. Ignored in
+	// whole-blob mode, where DemandPriority is the only link policy.
+	LinkWeights map[string]float64
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +79,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPinnedFraction == 0 {
 		c.MaxPinnedFraction = 0.5
+	}
+	if c.ChunkSize > 0 && c.Replicas <= 0 {
+		c.Replicas = 1
 	}
 	return c
 }
@@ -142,6 +163,23 @@ type Stats struct {
 	// Discarded counts fetched transfers dropped at landing because
 	// quota pins grew past the admission-time room check.
 	Discarded int
+
+	// Chunk-mode counters (Config.ChunkSize > 0); always zero in
+	// whole-blob mode. FetchBytes/PrefetchBytes above count bytes
+	// actually put on the links — deduped chunks count once — so in
+	// chunk mode they can be far below the nominal adapter sizes.
+	ChunkFetches    int   // chunk transfers enqueued on replica links
+	ChunkFetchBytes int64 // bytes those transfers moved
+	// DedupHits counts demands served without any transfer because
+	// every chunk was already resident via family siblings or the
+	// family warm set (a subset of HostHits).
+	DedupHits int
+	// DedupedBytes accumulates nominal bytes that never crossed the
+	// link because chunk-level sharing already held them.
+	DedupedBytes int64
+	// ChunkEvictions counts chunks freed (refcount reached zero on
+	// adapter eviction).
+	ChunkEvictions int
 }
 
 // hostEntry is one digest's state in the host tier: fetching (bytes
@@ -186,6 +224,13 @@ type Store struct {
 	tenantPinned   map[string]int64
 	tenantResident map[string]int64
 
+	// ch holds the chunk-mode state (Config.ChunkSize > 0); nil in
+	// whole-blob mode. The fields above that chunk mode shares —
+	// quotas, pins, tenant accounting, the advance high-water mark —
+	// keep their meaning; entries/root/used/linkFree/inflight go unused.
+	ch       *chunkState
+	fetchObs func(FetchSample) // completed-fetch observer (costmodel.go)
+
 	stats Stats
 }
 
@@ -204,6 +249,9 @@ func NewStore(cfg Config, cat *Catalog) *Store {
 	}
 	s.root.prev = &s.root
 	s.root.next = &s.root
+	if s.cfg.ChunkSize > 0 {
+		s.ch = newChunkState(s.cfg.Replicas)
+	}
 	return s
 }
 
@@ -244,17 +292,24 @@ func (s *Store) Stats() Stats {
 	return s.stats
 }
 
-// HostUsed reports resident host bytes.
+// HostUsed reports resident host bytes (in chunk mode, deduplicated
+// resident chunk bytes).
 func (s *Store) HostUsed() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ch != nil {
+		return s.ch.used
+	}
 	return s.used
 }
 
-// InflightFetches reports the number of fetches on the link.
+// InflightFetches reports the number of adapter fetches in flight.
 func (s *Store) InflightFetches() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ch != nil {
+		return len(s.ch.inflight)
+	}
 	return len(s.inflight)
 }
 
@@ -264,6 +319,15 @@ func (s *Store) InflightFetches() int {
 func (s *Store) NextFetchDone() time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ch != nil {
+		next := sim.Never
+		for _, ca := range s.ch.inflight {
+			if next == sim.Never || ca.done < next {
+				next = ca.done
+			}
+		}
+		return next
+	}
 	if len(s.inflight) == 0 {
 		return sim.Never
 	}
@@ -286,6 +350,10 @@ func (s *Store) advance(now time.Duration) {
 		return
 	}
 	s.advanced = now
+	if s.ch != nil {
+		s.advanceChunked(now)
+		return
+	}
 	for len(s.inflight) > 0 && s.inflight[0].done <= now {
 		e := s.inflight[0]
 		s.inflight = s.inflight[1:]
@@ -348,6 +416,14 @@ func (s *Store) HostResident(id int, now time.Duration) bool {
 	if !ok {
 		return true // uncatalogued adapters are host-resident by definition
 	}
+	if s.ch != nil {
+		if ca := s.ch.adapters[ent.Digest]; ca != nil {
+			return ca.resident
+		}
+		// Not materialized, but family siblings may already hold every
+		// chunk — a demand would hit without touching the link.
+		return allChunksResident(s.chunkListOf(ent))
+	}
 	e := s.entries[ent.Digest]
 	return e != nil && e.resident
 }
@@ -359,19 +435,33 @@ func (s *Store) HostResident(id int, now time.Duration) bool {
 // room. eta is the fetch completion time for StatusFetching and
 // StatusStarted.
 func (s *Store) Ensure(id int, now time.Duration) (st Status, eta time.Duration) {
+	st, eta, _ = s.Demand(id, now)
+	return st, eta
+}
+
+// Demand is Ensure plus the marginal cost: queued is the bytes this
+// call actually put on the remote link (0 for hits, fetches already
+// in flight, and denials). In whole-blob mode a started fetch queues
+// the adapter's full size; in chunk mode only the missing chunks —
+// deduped bytes count once, which is what fetch-byte accounting and
+// cost-ranked victim selection must see.
+func (s *Store) Demand(id int, now time.Duration) (st Status, eta time.Duration, queued int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.advance(now)
 	ent, ok := s.cat.Resolve(id)
 	if !ok {
-		return StatusUncatalogued, 0
+		return StatusUncatalogued, 0, 0
+	}
+	if s.ch != nil {
+		return s.ensureChunked(ent, now, true)
 	}
 	if e := s.entries[ent.Digest]; e != nil {
 		if e.resident {
 			s.stats.HostHits++
 			s.listTouch(e)
 			s.promote(e)
-			return StatusHit, 0
+			return StatusHit, 0, 0
 		}
 		if s.cfg.DemandPriority && !e.demand {
 			// A demand caught up with its speculative prefetch: the
@@ -379,7 +469,7 @@ func (s *Store) Ensure(id int, now time.Duration) (st Status, eta time.Duration)
 			// remaining prefetches.
 			s.promoteInflight(e, now)
 		}
-		return StatusFetching, e.done
+		return StatusFetching, e.done, 0
 	}
 	e, ok := s.startFetch(ent, now, true)
 	if !ok {
@@ -387,12 +477,12 @@ func (s *Store) Ensure(id int, now time.Duration) (st Status, eta time.Duration)
 		// retry as a fresh miss would swamp the hit rate, so denials
 		// have their own counter and misses count fetch starts only.
 		s.stats.FetchDenied++
-		return StatusDenied, 0
+		return StatusDenied, 0, 0
 	}
 	s.stats.HostMisses++
 	s.stats.Fetches++
 	s.stats.FetchBytes += e.bytes
-	return StatusStarted, e.done
+	return StatusStarted, e.done, e.bytes
 }
 
 // Prefetch speculatively warms the host tier for an adapter expected
@@ -407,6 +497,13 @@ func (s *Store) Prefetch(id int, now time.Duration) (eta time.Duration, started 
 	s.advance(now)
 	ent, ok := s.cat.Resolve(id)
 	if !ok {
+		return 0, false
+	}
+	if s.ch != nil {
+		st, done, _ := s.ensureChunked(ent, now, false)
+		if st == StatusStarted {
+			return done, true
+		}
 		return 0, false
 	}
 	if e := s.entries[ent.Digest]; e != nil {
@@ -633,6 +730,9 @@ func (s *Store) listTouch(e *hostEntry) {
 func (s *Store) CheckInvariants() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ch != nil {
+		return s.checkChunkInvariants()
+	}
 	var residentBytes int64
 	residentCount := 0
 	pinned := make(map[string]int64)

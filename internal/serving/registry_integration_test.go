@@ -245,3 +245,60 @@ func TestManagedClusterPrefetchWarmsAhead(t *testing.T) {
 			warmed.ColdTTFT.P99, baseline.ColdTTFT.P99)
 	}
 }
+
+// TestSiblingFetchBytesCountSharedPrefixOnce is the fetch-byte
+// accounting regression at the serving layer: with a chunk-mode store,
+// demanding two family siblings back-to-back must bill
+// Report.FetchBytes for the shared prefix once — the second fetch
+// transfers only its private tail.
+func TestSiblingFetchBytesCountSharedPrefixOnce(t *testing.T) {
+	model := lmm.QwenVL7B()
+	adapters := lora.MakeUniformAdapters(model, 2, model.DefaultRank)
+	ab := adapters[0].Bytes()
+	chunkSize := ab / 8
+	cat := registry.CatalogFromFamilies(adapters, nil,
+		func(id int) (string, int64) { return "famA", ab / 2 })
+	store := registry.NewStore(registry.Config{
+		HostCapacity:    8 * ab,
+		RemoteLatency:   5 * time.Millisecond,
+		RemoteBandwidth: 2e9,
+		ChunkSize:       chunkSize,
+	}, cat)
+	opts, err := SystemOptions(SystemVaLoRA, simgpu.A100(), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Registry = lora.NewRegistry(adapters...)
+	opts.AdapterPoolBytes = 4 * ab
+	opts.Store = store
+	srv, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.Trace{
+		{ID: 1, AdapterID: adapters[0].ID, InputTokens: 32, OutputTokens: 4, Arrival: 0},
+		{ID: 2, AdapterID: adapters[1].ID, InputTokens: 32, OutputTokens: 4, Arrival: 200 * time.Millisecond},
+	}
+	rep, err := srv.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 2 {
+		t.Fatalf("completed %d of 2", rep.Completed)
+	}
+	sharedB := (ab / 2 / chunkSize) * chunkSize
+	want := ab + (ab - sharedB)
+	if rep.FetchBytes != want {
+		t.Fatalf("FetchBytes = %d, want %d: the %d shared-prefix bytes must be transferred once",
+			rep.FetchBytes, want, sharedB)
+	}
+	if rep.RemoteFetches != 2 || rep.HostMisses != 2 {
+		t.Fatalf("both siblings are cold: fetches=%d misses=%d", rep.RemoteFetches, rep.HostMisses)
+	}
+	if st := store.Stats(); st.DedupedBytes != sharedB {
+		t.Fatalf("store DedupedBytes = %d, want %d", st.DedupedBytes, sharedB)
+	}
+	if err := store.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -78,6 +78,15 @@ type Report struct {
 	FetchBytes      int64
 	PrefetchFetches int
 	PrefetchBytes   int64
+	// Chunk-level distribution accounting, populated when the backing
+	// store runs in chunk mode (registry.Config.ChunkSize > 0); zero
+	// otherwise. FetchBytes/PrefetchBytes above always count bytes
+	// actually transferred — in chunk mode deduped chunks count once.
+	ChunkFetches    int   // chunk transfers put on the replica links
+	ChunkFetchBytes int64 // bytes those transfers moved
+	DedupHits       int   // demands served entirely by shared resident chunks
+	DedupedBytes    int64 // nominal bytes never transferred thanks to chunk sharing
+	ChunkEvictions  int   // chunks freed by refcounted eviction
 	// ColdStarts counts completed first tokens of requests that
 	// arrived while their adapter was not host-resident; ColdTTFT
 	// summarizes their time-to-first-token (ms) — the cold-start tail
@@ -169,6 +178,11 @@ func (r *Report) Merge(other *Report) {
 	r.FetchBytes += other.FetchBytes
 	r.PrefetchFetches += other.PrefetchFetches
 	r.PrefetchBytes += other.PrefetchBytes
+	r.ChunkFetches += other.ChunkFetches
+	r.ChunkFetchBytes += other.ChunkFetchBytes
+	r.DedupHits += other.DedupHits
+	r.DedupedBytes += other.DedupedBytes
+	r.ChunkEvictions += other.ChunkEvictions
 	r.ColdStarts += other.ColdStarts
 	r.Preemptions += other.Preemptions
 	r.RecomputeTokens += other.RecomputeTokens
@@ -227,6 +241,13 @@ func (r *Report) String() string {
 			100*r.GPUTierHitRate(), 100*r.HostHitRate(), r.RemoteFetches+r.PrefetchFetches,
 			float64(r.FetchBytes+r.PrefetchBytes)/float64(1<<20), r.PrefetchFetches,
 			r.ColdStarts, r.ColdTTFT.P99)
+	}
+	if r.ChunkFetches > 0 || r.DedupHits > 0 {
+		// Chunk-mode line only — whole-blob reports render byte-identically
+		// to the pre-chunk format.
+		fmt.Fprintf(&b, "  chunks: %d transfers (%.0f MB), %d dedup hits, %.0f MB deduped, %d chunk evictions\n",
+			r.ChunkFetches, float64(r.ChunkFetchBytes)/float64(1<<20),
+			r.DedupHits, float64(r.DedupedBytes)/float64(1<<20), r.ChunkEvictions)
 	}
 	if r.Preemptions > 0 {
 		fmt.Fprintf(&b, "  preemptions %d (%d tokens recomputed)\n", r.Preemptions, r.RecomputeTokens)

@@ -631,7 +631,7 @@ func (s *Server) resolveTiered(id int) *lora.Adapter {
 		return a
 	}
 	s.report.GPUTierMisses++
-	st, _ := s.opts.Store.Ensure(id, s.clock.Now())
+	st, _, queued := s.opts.Store.Demand(id, s.clock.Now())
 	switch st {
 	case registry.StatusHit:
 		if s.awaitingFetch[id] {
@@ -648,7 +648,12 @@ func (s *Server) resolveTiered(id int) *lora.Adapter {
 	case registry.StatusStarted:
 		s.report.HostMisses++
 		s.report.RemoteFetches++
-		s.report.FetchBytes += a.Bytes()
+		// Bytes actually put on the link by this fetch: the adapter's
+		// full size in whole-blob mode, only the missing (non-deduped)
+		// chunks in chunk mode — never the nominal size, so a family
+		// sibling's ride on already-resident shared chunks is not
+		// double-billed.
+		s.report.FetchBytes += queued
 		s.awaitingFetch[id] = true
 		return nil
 	case registry.StatusDenied:

@@ -86,6 +86,11 @@ type SchedulingConfig struct {
 	// PrefetchLookahead caps the prefetcher's in-flight fetches
 	// (0 disables prefetching).
 	PrefetchLookahead int
+	// FamilyWarm, with a chunk-mode Store and prefetching enabled,
+	// warms a family's shared chunk prefix (the tree-structured warm
+	// set) once that many distinct arrivals of the family have been
+	// observed by the prefetcher. 0 disables family warming.
+	FamilyWarm int
 	// Lookahead, when set, opts the cluster into bounded-lookahead
 	// admission: placement is decided only at epoch barriers, where the
 	// coordinator reserves up to Slots placements per instance and
@@ -191,6 +196,7 @@ func (c *Cluster) runManaged(trace workload.Trace) (*Report, error) {
 	var prefetch *registry.Prefetcher
 	if cfg.Store != nil && cfg.PrefetchLookahead > 0 {
 		prefetch = registry.NewPrefetcher(cfg.Store, cfg.PrefetchLookahead)
+		prefetch.FamilyWarm = cfg.FamilyWarm
 	}
 
 	// Per-instance lifecycle, index-aligned with c.servers and the
@@ -417,10 +423,17 @@ func (c *Cluster) runManaged(trace workload.Trace) (*Report, error) {
 	agg.Shed = shedTotal
 	if cfg.Store != nil {
 		// Prefetch traffic belongs to the cluster, not to any single
-		// instance: read it off the shared store once.
+		// instance: read it off the shared store once. Likewise the
+		// chunk-mode dedup counters (zero in whole-blob mode, keeping
+		// legacy reports bit-identical).
 		st := cfg.Store.Stats()
 		agg.PrefetchFetches = st.PrefetchFetches
 		agg.PrefetchBytes = st.PrefetchBytes
+		agg.ChunkFetches = st.ChunkFetches
+		agg.ChunkFetchBytes = st.ChunkFetchBytes
+		agg.DedupHits = st.DedupHits
+		agg.DedupedBytes = st.DedupedBytes
+		agg.ChunkEvictions = st.ChunkEvictions
 	}
 	agg.ScaleUps = scaleUps
 	agg.ScaleDowns = scaleDowns

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FetchRecord is one completed adapter fetch as observed by a
+// chunk-mode registry store: the bytes that actually crossed the
+// replica links (deduped chunks count once — zero when the fetch rode
+// entirely on sibling transfers), the chunk count of the adapter, and
+// the request/complete virtual times. The rows are the fetch-cost
+// half of the observe–predict–calibrate loop: calib.FitFetchCost
+// recovers the link's base latency and per-byte cost from a capture
+// and cross-checks them against the configured model.
+type FetchRecord struct {
+	Tenant string `json:"tenant,omitempty"`
+	Family string `json:"family,omitempty"`
+	// Bytes this fetch put on the links; Chunks is the adapter's chunk
+	// count (not the transfers enqueued — deduped chunks ride free).
+	Bytes  int64 `json:"bytes"`
+	Chunks int   `json:"chunks"`
+	Demand bool  `json:"demand,omitempty"`
+
+	Requested time.Duration `json:"requested_ns"`
+	Done      time.Duration `json:"done_ns"`
+}
+
+// Duration reports the observed fetch latency.
+func (r FetchRecord) Duration() time.Duration { return r.Done - r.Requested }
+
+// FetchRecorder accumulates fetch records; the registry store's fetch
+// observer appends under the store lock, so Append stays cheap. Row
+// order as appended is not part of the contract — Rows canonicalizes
+// by (Done, Requested, Bytes, Tenant).
+type FetchRecorder struct {
+	mu   sync.Mutex
+	rows []FetchRecord
+}
+
+// NewFetchRecorder returns an empty fetch recorder.
+func NewFetchRecorder() *FetchRecorder { return &FetchRecorder{} }
+
+// Append records one fetch row.
+func (rec *FetchRecorder) Append(r FetchRecord) {
+	rec.mu.Lock()
+	rec.rows = append(rec.rows, r)
+	rec.mu.Unlock()
+}
+
+// Len reports the number of recorded rows.
+func (rec *FetchRecorder) Len() int {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return len(rec.rows)
+}
+
+// Rows returns a canonically ordered copy of the recorded rows.
+func (rec *FetchRecorder) Rows() []FetchRecord {
+	rec.mu.Lock()
+	out := make([]FetchRecord, len(rec.rows))
+	copy(out, rec.rows)
+	rec.mu.Unlock()
+	SortFetchRecords(out)
+	return out
+}
+
+// SortFetchRecords orders rows canonically by (Done, Requested,
+// Bytes, Tenant).
+func SortFetchRecords(rows []FetchRecord) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Done != rows[j].Done {
+			return rows[i].Done < rows[j].Done
+		}
+		if rows[i].Requested != rows[j].Requested {
+			return rows[i].Requested < rows[j].Requested
+		}
+		if rows[i].Bytes != rows[j].Bytes {
+			return rows[i].Bytes < rows[j].Bytes
+		}
+		return rows[i].Tenant < rows[j].Tenant
+	})
+}
+
+// WriteJSONL serializes the recorder's rows in canonical order, one
+// JSON object per line, byte-identical for identical captures.
+func (rec *FetchRecorder) WriteJSONL(w io.Writer) error {
+	rows := rec.Rows()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	for i := range rows {
+		if err := enc.Encode(&rows[i]); err != nil {
+			return fmt.Errorf("trace: encoding fetch row %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFetchJSONL loads a JSONL fetch capture. Blank lines are
+// skipped; any other malformed line is an error naming its line
+// number.
+func ReadFetchJSONL(r io.Reader) ([]FetchRecord, error) {
+	var rows []FetchRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec FetchRecord
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("trace: fetch line %d: %w", line, err)
+		}
+		rows = append(rows, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading fetch capture: %w", err)
+	}
+	return rows, nil
+}

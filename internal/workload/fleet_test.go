@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGenFleetSweepsStayInOneFamily(t *testing.T) {
+	cfg := DefaultFleet(8, 15, 1, 60*time.Second, 7)
+	cfg.Tenants = []string{"tenant-a", "tenant-b"}
+	tr := GenFleet(cfg)
+	if len(tr) == 0 {
+		t.Fatal("empty trace")
+	}
+	famHits := make(map[string]int)
+	for _, r := range tr {
+		if r.AdapterID < 0 || r.AdapterID >= cfg.AdapterCount() {
+			t.Fatalf("adapter %d outside universe of %d", r.AdapterID, cfg.AdapterCount())
+		}
+		fam := cfg.FamilyOf(r.AdapterID)
+		if fam == "" {
+			t.Fatalf("adapter %d has no family", r.AdapterID)
+		}
+		famHits[fam]++
+		if got, want := r.Tenant, cfg.TenantOf(r.AdapterID); got != want {
+			t.Fatalf("adapter %d tenant %q, want %q", r.AdapterID, got, want)
+		}
+	}
+	if len(famHits) < 2 {
+		t.Fatalf("only %d families touched, want spread", len(famHits))
+	}
+	// Sweeps visit several members of the same family back to back, so
+	// consecutive arrivals should frequently share a family — far more
+	// often than the 1/Families chance an uncorrelated picker gives.
+	same := 0
+	for i := 1; i < len(tr); i++ {
+		if cfg.FamilyOf(tr[i].AdapterID) == cfg.FamilyOf(tr[i-1].AdapterID) {
+			same++
+		}
+	}
+	if frac := float64(same) / float64(len(tr)-1); frac < 0.35 {
+		t.Fatalf("consecutive same-family fraction %.2f, want >= 0.35 (sweep correlation)", frac)
+	}
+}
+
+func TestGenFleetDeterministic(t *testing.T) {
+	cfg := DefaultFleet(5, 10, 6, 20*time.Second, 42)
+	a, b := GenFleet(cfg), GenFleet(cfg)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].AdapterID != b[i].AdapterID || a[i].Arrival != b[i].Arrival ||
+			a[i].InputTokens != b[i].InputTokens || a[i].OutputTokens != b[i].OutputTokens {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFleetFamilyMappingBounds(t *testing.T) {
+	cfg := DefaultFleet(3, 4, 1, time.Second, 1)
+	if got := cfg.FamilyOf(-1); got != "" {
+		t.Fatalf("FamilyOf(-1) = %q, want empty", got)
+	}
+	if got := cfg.FamilyOf(cfg.AdapterCount()); got != "" {
+		t.Fatalf("FamilyOf(count) = %q, want empty", got)
+	}
+	if got, want := cfg.FamilyOf(5), cfg.FamilyName(1); got != want {
+		t.Fatalf("FamilyOf(5) = %q, want %q", got, want)
+	}
+}

@@ -94,6 +94,13 @@ type (
 	// ResidencyQuota bounds one tenant's host-tier residency
 	// (guaranteed pinned bytes plus a protected burst envelope).
 	ResidencyQuota = registry.TenantQuota
+	// AdapterCatalog maps adapter ids to content digests, tenants and
+	// families; see NewFamilyAdapterStore for the chunk-mode path.
+	AdapterCatalog = registry.Catalog
+	// FetchSample is one completed adapter fetch as observed by a
+	// chunk-mode store's fetch observer (Store.SetFetchObserver) — the
+	// input to the measured fetch-cost model.
+	FetchSample = registry.FetchSample
 	// PreemptionConfig enables iteration-level preemption on an
 	// instance (displacement of admitted requests in favor of starving
 	// tight-deadline ones, with an unpreemptable-after-N livelock
@@ -211,6 +218,17 @@ func (cfg Config) options() (serving.Options, error) {
 // declare quotas with its SetQuota method.
 func NewAdapterStore(cfg AdapterStoreConfig, adapters []*Adapter, tenantOf func(id int) string) *AdapterStore {
 	return registry.NewStore(cfg, registry.CatalogFromAdapters(adapters, tenantOf))
+}
+
+// NewFamilyAdapterStore is NewAdapterStore for family-structured
+// adapter sets: familyOf resolves each adapter's family name and the
+// length of the weight prefix the family shares (0/"" = standalone).
+// With AdapterStoreConfig.ChunkSize > 0 the store digests adapters as
+// chunk lists, so siblings' shared prefixes are transferred over the
+// replica links and cached in the host tier once (see the README's
+// "Adapter distribution" section).
+func NewFamilyAdapterStore(cfg AdapterStoreConfig, adapters []*Adapter, tenantOf func(id int) string, familyOf func(id int) (string, int64)) *AdapterStore {
+	return registry.NewStore(cfg, registry.CatalogFromFamilies(adapters, tenantOf, familyOf))
 }
 
 // New builds a serving system on a simulated A100.
